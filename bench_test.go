@@ -1,0 +1,273 @@
+// Package reviewsolver's root benchmark suite: one benchmark per paper
+// table (the full rows are printed by cmd/experiments; these measure the
+// cost of regenerating each one) plus micro-benchmarks for the pipeline
+// stages that dominate Table 15.
+package reviewsolver
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/baseline"
+	"reviewsolver/internal/core"
+	"reviewsolver/internal/ctxinfo"
+	"reviewsolver/internal/experiments"
+	"reviewsolver/internal/ios"
+	"reviewsolver/internal/qa"
+	"reviewsolver/internal/sdk"
+	"reviewsolver/internal/sentiment"
+	"reviewsolver/internal/synth"
+	"reviewsolver/internal/textclass"
+	"reviewsolver/internal/wordvec"
+)
+
+// sharedState lazily builds the expensive fixtures once for all benchmarks.
+var (
+	once       sync.Once
+	benchRun   *experiments.Runner
+	benchApps  []*synth.AppData
+	benchSolve *core.Solver
+)
+
+func setup() {
+	once.Do(func() {
+		benchRun = experiments.NewRunner(1)
+		benchApps = benchRun.Apps18()
+		benchSolve = benchRun.Solver()
+	})
+}
+
+func k9() *synth.AppData {
+	setup()
+	for _, a := range benchApps {
+		if a.Info.Package == "com.fsck.k9" {
+			return a
+		}
+	}
+	return benchApps[0]
+}
+
+// --- one benchmark per evaluation table -----------------------------------------
+
+func benchTable(b *testing.B, n int) {
+	b.Helper()
+	setup()
+	for i := 0; i < b.N; i++ {
+		tab, err := benchRun.TableByNumber(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable01ContextDistribution(b *testing.B) { benchTable(b, 1) }
+func BenchmarkTable02Classifiers(b *testing.B)         { benchTable(b, 2) }
+func BenchmarkTable03ScoreSample(b *testing.B)         { benchTable(b, 3) }
+func BenchmarkTable04Sentiment(b *testing.B)           { benchTable(b, 4) }
+func BenchmarkTable05Patterns(b *testing.B)            { benchTable(b, 5) }
+func BenchmarkTable06Inventory(b *testing.B)           { benchTable(b, 6) }
+func BenchmarkTable07ExternalDatasets(b *testing.B)    { benchTable(b, 7) }
+func BenchmarkTable08BugReportGT(b *testing.B)         { benchTable(b, 8) }
+func BenchmarkTable09ReleaseNoteGT(b *testing.B)       { benchTable(b, 9) }
+func BenchmarkTable10Overlap(b *testing.B)             { benchTable(b, 10) }
+func BenchmarkTable11Resolved(b *testing.B)            { benchTable(b, 11) }
+func BenchmarkTable12Contexts(b *testing.B)            { benchTable(b, 12) }
+func BenchmarkTable13Precision(b *testing.B)           { benchTable(b, 13) }
+func BenchmarkTable14AdditionalApps(b *testing.B)      { benchTable(b, 14) }
+func BenchmarkTable15LocalizerTiming(b *testing.B)     { benchTable(b, 15) }
+func BenchmarkTable16IOS(b *testing.B)                 { benchTable(b, 16) }
+
+// --- pipeline micro-benchmarks (the Table 15 cost centres) -----------------------
+
+func BenchmarkLocalizeReviewEndToEnd(b *testing.B) {
+	app := k9()
+	review := "It's a great app but i cannot fetch mail since the latest update"
+	when := app.App.Latest().ReleasedAt.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSolve.LocalizeReview(app.App, review, when)
+	}
+}
+
+func BenchmarkAnalyzeReview(b *testing.B) {
+	setup()
+	review := "Reinstalled the app, reply button now doesn't show. I receive an error message saying \"Failed to send some messages\"."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSolve.AnalyzeReview(review)
+	}
+}
+
+func BenchmarkExtractStatic(b *testing.B) {
+	app := k9()
+	release := app.App.Latest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSolve.ExtractStatic(release)
+	}
+}
+
+func benchLocalizer(b *testing.B, ctx ctxinfo.Type, review string) {
+	b.Helper()
+	app := k9()
+	release := app.App.Latest()
+	info := benchSolve.StaticFor(release)
+	previous := app.App.Releases[len(app.App.Releases)-2]
+	ra := benchSolve.AnalyzeReview(review)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSolve.LocalizeByContext(ctx, ra, info, previous, release)
+	}
+}
+
+func BenchmarkLocalizerAppSpecific(b *testing.B) {
+	benchLocalizer(b, ctxinfo.AppSpecificTask, "keeps crashing every time i fetch mail")
+}
+
+func BenchmarkLocalizerAPIURIIntent(b *testing.B) {
+	benchLocalizer(b, ctxinfo.APIURIIntent, "i cannot send email to anyone")
+}
+
+func BenchmarkLocalizerGeneralTask(b *testing.B) {
+	benchLocalizer(b, ctxinfo.GeneralTask, "errors prevent me to download file")
+}
+
+func BenchmarkLocalizerGUI(b *testing.B) {
+	benchLocalizer(b, ctxinfo.GUI, "the reply button does not show")
+}
+
+func BenchmarkLocalizerErrorMessage(b *testing.B) {
+	benchLocalizer(b, ctxinfo.ErrorMessage, `it says "Failed to send some messages" every time`)
+}
+
+func BenchmarkLocalizerException(b *testing.B) {
+	benchLocalizer(b, ctxinfo.Exception, "there is a socket exception when it polls")
+}
+
+func BenchmarkLocalizerOpeningApp(b *testing.B) {
+	benchLocalizer(b, ctxinfo.OpeningApp, "it crashed every time i opened it")
+}
+
+func BenchmarkLocalizerRegistration(b *testing.B) {
+	benchLocalizer(b, ctxinfo.RegisteringAccount, "cannot login to my account")
+}
+
+func BenchmarkLocalizerUpdateDiff(b *testing.B) {
+	benchLocalizer(b, ctxinfo.UpdatingApp, "app started crashing after recent update")
+}
+
+// --- component micro-benchmarks ---------------------------------------------------
+
+func BenchmarkClassifierPredict(b *testing.B) {
+	vec, clf := textclass.TrainOn(synth.TrainingCorpus(1),
+		func() textclass.Classifier { return textclass.NewBoostedTrees() })
+	x := vec.Transform("the app keeps crashing when i upload photos")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.Predict(x)
+	}
+}
+
+func BenchmarkVectorizerTransform(b *testing.B) {
+	vec, _ := textclass.TrainOn(synth.TrainingCorpus(1),
+		func() textclass.Classifier { return textclass.NewNaiveBayes() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vec.Transform("the app keeps crashing when i upload photos to the server")
+	}
+}
+
+func BenchmarkPhraseSimilarity(b *testing.B) {
+	m := wordvec.NewModel()
+	a1 := []string{"fetch", "mail"}
+	a2 := []string{"get", "email"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Similarity(a1, a2)
+	}
+}
+
+func BenchmarkSentimentSentiStrength(b *testing.B) {
+	a := sentiment.SentiStrength{}
+	review := "It's a great app but since the last update my stats page doesnt work properly."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sentiment.NegativeSentences(a, review)
+	}
+}
+
+func BenchmarkQATopAPIs(b *testing.B) {
+	catalog := sdk.NewCatalog()
+	idx := qa.NewIndex(catalog, qa.GenerateCorpus(catalog))
+	phrase := []string{"download", "file"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.TopAPIs(phrase, 5)
+	}
+}
+
+func BenchmarkChangeAdvisor(b *testing.B) {
+	app := k9()
+	reviews := make([]string, 0, 100)
+	for _, r := range app.Reviews[:100] {
+		reviews = append(reviews, r.Text)
+	}
+	ca := baseline.NewChangeAdvisor()
+	release := app.App.Latest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ca.MapReviews(reviews, release)
+	}
+}
+
+func BenchmarkWhere2Change(b *testing.B) {
+	app := k9()
+	reviews := make([]string, 0, 100)
+	for _, r := range app.Reviews[:100] {
+		reviews = append(reviews, r.Text)
+	}
+	var bugs []baseline.BugText
+	for _, br := range app.BugReports {
+		bugs = append(bugs, baseline.BugText{Title: br.Title, Body: br.Body})
+	}
+	w2c := baseline.NewWhere2Change()
+	release := app.App.Latest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w2c.MapReviews(reviews, bugs, release)
+	}
+}
+
+func BenchmarkIOSLocalize(b *testing.B) {
+	loc := ios.NewLocalizer()
+	apps := ios.GenerateTable16(1)
+	review := "The app crashes every time i upload photos."
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loc.Localize(apps[1].App, review)
+	}
+}
+
+func BenchmarkAppGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data := synth.GenerateSample(int64(i))
+		if data == nil {
+			b.Fatal("nil app")
+		}
+	}
+}
+
+func BenchmarkReleaseDiff(b *testing.B) {
+	app := k9().App
+	prev := app.Releases[len(app.Releases)-2]
+	cur := app.Releases[len(app.Releases)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apk.DiffClasses(prev, cur)
+	}
+}

@@ -1,0 +1,156 @@
+// Command reviewsolver localizes a function-error review against an app.
+//
+// The app is either one of the built-in generated evaluation apps
+// (-app <package>, see -list) or an app IR loaded from JSON (-appfile).
+//
+// Usage:
+//
+//	reviewsolver -list
+//	reviewsolver -app com.fsck.k9 -review "cannot fetch mail since the update"
+//	reviewsolver -appfile app.json -review "the reply button doesn't show"
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/core"
+	"reviewsolver/internal/report"
+	"reviewsolver/internal/synth"
+	"reviewsolver/internal/textclass"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reviewsolver:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appPkg  = flag.String("app", "", "package id of a built-in generated app")
+		appFile = flag.String("appfile", "", "path to an app IR JSON file")
+		review  = flag.String("review", "", "review text to localize")
+		list    = flag.Bool("list", false, "list the built-in generated apps")
+		seed    = flag.Int64("seed", 1, "generator seed for built-in apps")
+		when    = flag.String("published", "", "review publication time (RFC 3339); default: after the latest release")
+		triage  = flag.Bool("triage", false, "triage the app's whole generated review corpus into a markdown report")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, info := range synth.Table6Specs() {
+			fmt.Printf("%-40s %s\n", info.Package, info.Name)
+		}
+		return nil
+	}
+	if *triage {
+		return runTriage(*appPkg, *seed)
+	}
+	if *review == "" {
+		return errors.New("missing -review text (or use -list / -triage)")
+	}
+
+	app, err := loadApp(*appPkg, *appFile, *seed)
+	if err != nil {
+		return err
+	}
+
+	publishedAt := app.Latest().ReleasedAt.AddDate(0, 0, 1)
+	if *when != "" {
+		publishedAt, err = time.Parse(time.RFC3339, *when)
+		if err != nil {
+			return fmt.Errorf("parse -published: %w", err)
+		}
+	}
+
+	vec, clf := textclass.TrainOn(synth.TrainingCorpus(*seed),
+		func() textclass.Classifier { return textclass.NewBoostedTrees() })
+	solver := core.New(core.WithClassifier(vec, clf))
+
+	res := solver.LocalizeReview(app, *review, publishedAt)
+	printResult(res, *review)
+	return nil
+}
+
+// runTriage localizes a built-in app's entire generated review corpus and
+// prints the markdown triage report.
+func runTriage(pkg string, seed int64) error {
+	if pkg == "" {
+		return errors.New("-triage requires -app <package>")
+	}
+	var data *synth.AppData
+	for i, info := range synth.Table6Specs() {
+		if info.Package == pkg {
+			data = synth.GenerateTable6(seed)[i]
+		}
+	}
+	if data == nil {
+		return fmt.Errorf("unknown built-in app %q (use -list)", pkg)
+	}
+	vec, clf := textclass.TrainOn(synth.TrainingCorpus(seed),
+		func() textclass.Classifier { return textclass.NewBoostedTrees() })
+	solver := core.New(core.WithClassifier(vec, clf))
+	b := report.NewBuilder(solver, data.App)
+	for _, rv := range data.Reviews {
+		b.Add(rv.Text, rv.PublishedAt)
+	}
+	fmt.Print(b.Build().Markdown())
+	return nil
+}
+
+func loadApp(pkg, file string, seed int64) (*apk.App, error) {
+	switch {
+	case file != "":
+		return apk.LoadJSON(file)
+	case pkg != "":
+		for i, info := range synth.Table6Specs() {
+			if info.Package == pkg {
+				data := synth.GenerateTable6(seed)[i]
+				return data.App, nil
+			}
+		}
+		return nil, fmt.Errorf("unknown built-in app %q (use -list)", pkg)
+	default:
+		return nil, errors.New("one of -app or -appfile is required")
+	}
+}
+
+func printResult(res *core.Result, review string) {
+	fmt.Printf("review: %s\n", review)
+	if !res.IsError {
+		fmt.Println("classifier: not a function-error review")
+		return
+	}
+	fmt.Println("classifier: function-error review")
+	if res.Release != nil {
+		fmt.Printf("matched APK version: %s (released %s)\n",
+			res.Release.Version, res.Release.ReleasedAt.Format("2006-01-02"))
+	}
+	if res.Analysis != nil {
+		for _, vp := range res.Analysis.VerbPhrases {
+			fmt.Printf("verb phrase: %s\n", vp.String())
+		}
+		for _, q := range res.Analysis.Quoted {
+			fmt.Printf("quoted message: %q\n", q)
+		}
+	}
+	if !res.Localized() {
+		fmt.Println("no code mapping found")
+		return
+	}
+	fmt.Printf("\nrecommended classes (top %d):\n", len(res.Ranked))
+	for i, rc := range res.Ranked {
+		fmt.Printf("%2d. %-55s importance=%d deps=%d via %s\n",
+			i+1, rc.Class, rc.Importance, rc.Dependencies, strings.Join(rc.Contexts, ", "))
+		if len(rc.Methods) > 0 {
+			fmt.Printf("    methods: %s\n", strings.Join(rc.Methods, ", "))
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command synthgen exports the generated evaluation universe to disk: the
+// app IR as JSON (consumable by `reviewsolver -appfile`), plus the reviews,
+// bug reports, and release notes as JSON documents.
+//
+// Usage:
+//
+//	synthgen -app com.fsck.k9 -out ./k9        # one app
+//	synthgen -all -out ./dataset               # all 28 apps
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"reviewsolver/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		appPkg = flag.String("app", "", "package id of the app to export")
+		all    = flag.Bool("all", false, "export every generated app")
+		out    = flag.String("out", ".", "output directory")
+		seed   = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if !*all && *appPkg == "" {
+		return errors.New("pass -app <package> or -all")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+
+	datas := append(synth.GenerateTable6(*seed), synth.GenerateTable14(*seed)...)
+	exported := 0
+	for _, data := range datas {
+		if !*all && data.Info.Package != *appPkg {
+			continue
+		}
+		if err := export(data, *out); err != nil {
+			return err
+		}
+		fmt.Println("exported", data.Summary())
+		exported++
+	}
+	if exported == 0 {
+		return fmt.Errorf("unknown app %q", *appPkg)
+	}
+	return nil
+}
+
+// export writes <pkg>.app.json (the IR) and <pkg>.corpus.json (reviews +
+// ground-truth documents).
+func export(data *synth.AppData, dir string) error {
+	appPath := filepath.Join(dir, data.Info.Package+".app.json")
+	if err := data.App.SaveJSON(appPath); err != nil {
+		return err
+	}
+	corpus := struct {
+		Reviews      []synth.Review      `json:"reviews"`
+		BugReports   []synth.BugReport   `json:"bugReports"`
+		ReleaseNotes []synth.ReleaseNote `json:"releaseNotes"`
+		Faults       []synth.Fault       `json:"faults"`
+	}{data.Reviews, data.BugReports, data.ReleaseNotes, data.Faults}
+	blob, err := json.MarshalIndent(corpus, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal corpus %s: %w", data.Info.Package, err)
+	}
+	corpusPath := filepath.Join(dir, data.Info.Package+".corpus.json")
+	if err := os.WriteFile(corpusPath, blob, 0o644); err != nil {
+		return fmt.Errorf("write corpus %s: %w", data.Info.Package, err)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Comparison: run ReviewSolver against the ChangeAdvisor and Where2Change
+// baselines on one app's error reviews (the §5.3 experiment in miniature)
+// and print which ground-truth mappings each system recovers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reviewsolver/internal/baseline"
+	"reviewsolver/internal/core"
+	"reviewsolver/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	apps := synth.GenerateTable6(1)
+	var signal *synth.AppData
+	for _, a := range apps {
+		if a.Info.Name == "Signal" {
+			signal = a
+		}
+	}
+	if signal == nil {
+		return fmt.Errorf("signal not generated")
+	}
+	fmt.Println(signal.Summary())
+
+	// Collect the error reviews that have ground truth (a linked fault with
+	// a bug report).
+	type gtReview struct {
+		review  synth.Review
+		classes map[string]struct{}
+	}
+	var gt []gtReview
+	for _, rv := range signal.ErrorReviews() {
+		if rv.FaultID < 0 {
+			continue
+		}
+		fault, ok := signal.FaultByID(rv.FaultID)
+		if !ok {
+			continue
+		}
+		set := make(map[string]struct{}, len(fault.Classes))
+		for _, c := range fault.Classes {
+			set[c] = struct{}{}
+		}
+		gt = append(gt, gtReview{review: rv, classes: set})
+		if len(gt) == 40 {
+			break
+		}
+	}
+
+	solver := core.New() // no classifier: we already know these are error reviews
+	ca := baseline.NewChangeAdvisor()
+	w2c := baseline.NewWhere2Change()
+
+	texts := make([]string, len(gt))
+	for i, g := range gt {
+		texts[i] = g.review.Text
+	}
+	release := signal.App.Latest()
+	caOut := ca.MapReviews(texts, release)
+	var bugs []baseline.BugText
+	for _, br := range signal.BugReports {
+		bugs = append(bugs, baseline.BugText{Title: br.Title, Body: br.Body})
+	}
+	w2cOut := w2c.MapReviews(texts, bugs, release)
+
+	hit := func(classes []string, want map[string]struct{}) bool {
+		for _, c := range classes {
+			if _, ok := want[c]; ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	var rsHits, caHits, w2cHits int
+	for i, g := range gt {
+		res := solver.LocalizeReview(signal.App, g.review.Text, g.review.PublishedAt)
+		rsOK := hit(res.RankedClassNames(), g.classes)
+		caOK := hit(caOut[i], g.classes)
+		w2cOK := hit(w2cOut[i], g.classes)
+		if rsOK {
+			rsHits++
+		}
+		if caOK {
+			caHits++
+		}
+		if w2cOK {
+			w2cHits++
+		}
+		fmt.Printf("%-72q RS=%-5v CA=%-5v W2C=%v\n", truncate(g.review.Text, 70), rsOK, caOK, w2cOK)
+	}
+	fmt.Printf("\nof %d ground-truth reviews: ReviewSolver %d, ChangeAdvisor %d, Where2Change %d\n",
+		len(gt), rsHits, caHits, w2cHits)
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a tiny app IR, localize one user review against it,
+// and print the review's parse tree (the Fig. 2 view) plus the recommended
+// classes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/core"
+	"reviewsolver/internal/parser"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Describe the app in the APK IR: one activity, one worker class
+	//    that sends SMS, and a login screen.
+	b := apk.NewBuilder("com.example.chat", "ExampleChat")
+	b.Release("1.0", 1, time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC))
+	b.Permission("android.permission.SEND_SMS")
+	b.LauncherActivity("com.example.chat.MainActivity", "main")
+	b.Activity("com.example.chat.LoginActivity", "login")
+	b.Layout("main", apk.Widget{Type: "LinearLayout", Children: []apk.Widget{
+		{Type: "Button", ID: "send_btn", Text: "Send"},
+		{Type: "EditText", ID: "compose_text", Hint: "Type a message"},
+	}})
+	b.Layout("login", apk.Widget{Type: "LinearLayout", Children: []apk.Widget{
+		{Type: "EditText", ID: "password_edit", Hint: "Password"},
+		{Type: "Button", ID: "login_btn", Text: "Sign in"},
+	}})
+	b.Class("com.example.chat.MainActivity").
+		Method("onCreate", apk.Invoke("", "android.app.Activity", "setTitle")).
+		Method("onClick", apk.Invoke("", "com.example.chat.MessageSender", "sendMessage"))
+	b.Class("com.example.chat.MessageSender").
+		Method("sendMessage",
+			apk.ConstString("err", "Message could not be sent"),
+			apk.Invoke("", "android.telephony.SmsManager", "sendTextMessage"),
+			apk.Invoke("", "android.widget.Toast", "makeText", "err"))
+	app := b.Build()
+
+	// 2. Parse a review sentence the way §3.2 does and show the tree.
+	review := "the app cannot send messages anymore"
+	p := parser.New().ParseSentence(review)
+	fmt.Println("parse tree (Fig. 2 style):")
+	fmt.Println(p.Tree.String())
+	fmt.Println("typed dependencies:")
+	for _, d := range p.Deps {
+		fmt.Printf("  %s(%s, %s)\n", d.Rel, p.Tokens[d.Head].Lower, p.Tokens[d.Dep].Lower)
+	}
+
+	// 3. Localize the review. Without a trained classifier every review is
+	//    treated as a function-error review — fine for a demo.
+	solver := core.New()
+	res := solver.LocalizeReview(app, review, time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC))
+
+	fmt.Println("\nrecommended classes:")
+	for i, rc := range res.Ranked {
+		fmt.Printf("%d. %s (importance %d, via %v)\n", i+1, rc.Class, rc.Importance, rc.Contexts)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module reviewsolver
+
+go 1.22

@@ -1,0 +1,333 @@
+// Package apg builds the Android Property Graph of §3.3.2 over the app IR:
+// the abstract syntax tree is the statement list itself, and this package
+// adds the method call graph (MCG), the data dependency graph (DDG) with
+// backward taint analysis, intent-target queries (the IccTA role), and the
+// class dependency relation used for ranking ties (§4.3).
+package apg
+
+import (
+	"sort"
+
+	"reviewsolver/internal/apk"
+)
+
+// Site identifies one statement inside a method.
+type Site struct {
+	// Method is the enclosing method.
+	Method *apk.Method
+	// StmtIdx is the statement's index within the method body.
+	StmtIdx int
+}
+
+// Statement returns the statement at the site.
+func (s Site) Statement() apk.Statement { return s.Method.Statements[s.StmtIdx] }
+
+// Class returns the fully qualified class owning the site.
+func (s Site) Class() string { return s.Method.Class }
+
+// Graph is the property graph of one release.
+type Graph struct {
+	release *apk.Release
+	// methods indexes app methods by qualified name.
+	methods map[string]*apk.Method
+	// callSites indexes invocation sites by callee "class.method".
+	callSites map[string][]Site
+	// callers/callees are the MCG edges restricted to app methods.
+	callers map[string][]string
+	callees map[string][]string
+	// classDeps maps a class to the set of app classes it invokes.
+	classDeps map[string]map[string]struct{}
+}
+
+// Build constructs the graph for a release.
+func Build(r *apk.Release) *Graph {
+	g := &Graph{
+		release:   r,
+		methods:   make(map[string]*apk.Method),
+		callSites: make(map[string][]Site),
+		callers:   make(map[string][]string),
+		callees:   make(map[string][]string),
+		classDeps: make(map[string]map[string]struct{}),
+	}
+	appClasses := make(map[string]struct{}, len(r.Classes))
+	for _, c := range r.Classes {
+		appClasses[c.Name] = struct{}{}
+		for _, m := range c.Methods {
+			g.methods[m.QualifiedName()] = m
+		}
+	}
+	for _, c := range r.Classes {
+		for _, m := range c.Methods {
+			from := m.QualifiedName()
+			for i, st := range m.Statements {
+				if st.Op != apk.OpInvoke {
+					continue
+				}
+				callee := st.Callee()
+				g.callSites[callee] = append(g.callSites[callee], Site{Method: m, StmtIdx: i})
+				if _, isApp := appClasses[st.InvokeClass]; isApp {
+					g.callees[from] = append(g.callees[from], callee)
+					g.callers[callee] = append(g.callers[callee], from)
+					if st.InvokeClass != c.Name {
+						deps, ok := g.classDeps[c.Name]
+						if !ok {
+							deps = make(map[string]struct{})
+							g.classDeps[c.Name] = deps
+						}
+						deps[st.InvokeClass] = struct{}{}
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Release returns the release the graph was built from.
+func (g *Graph) Release() *apk.Release { return g.release }
+
+// Method returns the app method with the given qualified name.
+func (g *Graph) Method(qualified string) (*apk.Method, bool) {
+	m, ok := g.methods[qualified]
+	return m, ok
+}
+
+// Methods returns all app methods, sorted by qualified name.
+func (g *Graph) Methods() []*apk.Method {
+	names := make([]string, 0, len(g.methods))
+	for n := range g.methods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*apk.Method, len(names))
+	for i, n := range names {
+		out[i] = g.methods[n]
+	}
+	return out
+}
+
+// CallSitesOf returns every invocation site of class.method (framework API
+// or app method), in deterministic order.
+func (g *Graph) CallSitesOf(class, method string) []Site {
+	sites := g.callSites[class+"."+method]
+	out := make([]Site, len(sites))
+	copy(out, sites)
+	sort.Slice(out, func(i, j int) bool {
+		qi, qj := out[i].Method.QualifiedName(), out[j].Method.QualifiedName()
+		if qi != qj {
+			return qi < qj
+		}
+		return out[i].StmtIdx < out[j].StmtIdx
+	})
+	return out
+}
+
+// ClassesCalling returns the distinct app classes that invoke class.method.
+func (g *Graph) ClassesCalling(class, method string) []string {
+	set := make(map[string]struct{})
+	for _, s := range g.callSites[class+"."+method] {
+		set[s.Class()] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Callers returns the app methods that call the given app method.
+func (g *Graph) Callers(qualified string) []string {
+	out := append([]string(nil), g.callers[qualified]...)
+	sort.Strings(out)
+	return out
+}
+
+// ClassDependencyCount returns how many distinct app classes the given
+// class invokes. Ranking uses it to break importance ties (§4.3): a class
+// built on many others more likely implements a core function.
+func (g *Graph) ClassDependencyCount(class string) int {
+	return len(g.classDeps[class])
+}
+
+// BackwardStrings performs the backward taint walk of §3.3.2: starting from
+// the uses of the statement at the site, it follows the data dependency
+// graph (def → use chains) backwards until statements that create new
+// values, and records every string constant encountered on the path.
+func (g *Graph) BackwardStrings(site Site) []string {
+	stmts := site.Method.Statements
+	start := stmts[site.StmtIdx]
+	pending := append([]string(nil), start.Uses...)
+	seenVar := make(map[string]struct{}, len(pending))
+	var out []string
+	for len(pending) > 0 {
+		v := pending[len(pending)-1]
+		pending = pending[:len(pending)-1]
+		if _, dup := seenVar[v]; dup || v == "" {
+			continue
+		}
+		seenVar[v] = struct{}{}
+		// Find the latest definition of v before the site.
+		for i := site.StmtIdx - 1; i >= 0; i-- {
+			st := stmts[i]
+			if st.Def != v {
+				continue
+			}
+			switch st.Op {
+			case apk.OpConstString:
+				out = append(out, st.Const)
+			case apk.OpAssign, apk.OpInvoke:
+				pending = append(pending, st.Uses...)
+			case apk.OpNew:
+				// Sink: statement that creates a new variable.
+			}
+			break
+		}
+	}
+	// Deterministic order.
+	sort.Strings(out)
+	return out
+}
+
+// intentSendAPIs are the framework entry points that dispatch intents
+// (§3.3.2: "we first collect all intent related statements").
+var intentSendAPIs = []struct{ class, method string }{
+	{"android.app.Activity", "startActivity"},
+	{"android.app.Activity", "startActivityForResult"},
+	{"android.content.Context", "startActivity"},
+	{"android.content.Context", "startService"},
+	{"android.content.Context", "sendBroadcast"},
+}
+
+// IntentSend records an intent dispatched by the app with the action
+// string(s) recovered by backward taint.
+type IntentSend struct {
+	// Actions are the intent action strings found on the taint path.
+	Actions []string
+	// Site is the dispatching statement.
+	Site Site
+}
+
+// IntentSends finds all intent dispatch sites and recovers their action
+// strings.
+func (g *Graph) IntentSends() []IntentSend {
+	var out []IntentSend
+	for _, api := range intentSendAPIs {
+		for _, site := range g.CallSitesOf(api.class, api.method) {
+			actions := g.BackwardStrings(site)
+			if len(actions) == 0 {
+				continue
+			}
+			out = append(out, IntentSend{Actions: actions, Site: site})
+		}
+	}
+	return out
+}
+
+// ContentQuery records a content-provider access with its URI string(s).
+type ContentQuery struct {
+	URIs []string
+	Site Site
+}
+
+// contentResolverMethods are the provider operations of §3.3.2.
+var contentResolverMethods = []string{"query", "insert", "update", "delete"}
+
+// ContentQueries finds content-provider operations and recovers the URI
+// strings flowing into them.
+func (g *Graph) ContentQueries() []ContentQuery {
+	var out []ContentQuery
+	for _, m := range contentResolverMethods {
+		for _, site := range g.CallSitesOf("android.content.ContentResolver", m) {
+			uris := g.BackwardStrings(site)
+			if len(uris) == 0 {
+				continue
+			}
+			out = append(out, ContentQuery{URIs: uris, Site: site})
+		}
+	}
+	return out
+}
+
+// MessageSite records a user-visible message raised by the app with the
+// string(s) recovered by backward taint.
+type MessageSite struct {
+	Texts []string
+	Site  Site
+}
+
+// errorMessageAPIs are the notification APIs of §3.3.2 (AlertDialog,
+// TextView, Toast).
+var errorMessageAPIs = []struct{ class, method string }{
+	{"android.app.AlertDialog$Builder", "setTitle"},
+	{"android.app.AlertDialog$Builder", "setMessage"},
+	{"android.widget.TextView", "setError"},
+	{"android.widget.Toast", "makeText"},
+	{"android.app.NotificationManager", "notify"},
+}
+
+// ErrorMessages finds the user-visible message sites and recovers their
+// text.
+func (g *Graph) ErrorMessages() []MessageSite {
+	var out []MessageSite
+	for _, api := range errorMessageAPIs {
+		for _, site := range g.CallSitesOf(api.class, api.method) {
+			texts := g.BackwardStrings(site)
+			if len(texts) == 0 {
+				continue
+			}
+			out = append(out, MessageSite{Texts: texts, Site: site})
+		}
+	}
+	return out
+}
+
+// ExceptionSite records a throw or catch of an exception type.
+type ExceptionSite struct {
+	Exception string
+	Caught    bool
+	Site      Site
+}
+
+// ExceptionSites lists every throw/catch in the app (§4.2.3 Step 1 for
+// developer-defined methods).
+func (g *Graph) ExceptionSites() []ExceptionSite {
+	var out []ExceptionSite
+	for _, m := range g.Methods() {
+		for i, st := range m.Statements {
+			switch st.Op {
+			case apk.OpThrow:
+				out = append(out, ExceptionSite{Exception: st.Exception,
+					Site: Site{Method: m, StmtIdx: i}})
+			case apk.OpCatch:
+				out = append(out, ExceptionSite{Exception: st.Exception, Caught: true,
+					Site: Site{Method: m, StmtIdx: i}})
+			}
+		}
+	}
+	return out
+}
+
+// FrameworkCalls returns every invocation site whose callee class is not an
+// app class — the API usage inventory of §3.3.2.
+func (g *Graph) FrameworkCalls() []Site {
+	appClasses := make(map[string]struct{}, len(g.release.Classes))
+	for _, c := range g.release.Classes {
+		appClasses[c.Name] = struct{}{}
+	}
+	var out []Site
+	for _, c := range g.release.Classes {
+		for _, m := range c.Methods {
+			for i, st := range m.Statements {
+				if st.Op != apk.OpInvoke {
+					continue
+				}
+				if _, isApp := appClasses[st.InvokeClass]; isApp {
+					continue
+				}
+				out = append(out, Site{Method: m, StmtIdx: i})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,361 @@
+// Package apk defines the app intermediate representation that stands in
+// for real APK files: the AndroidManifest (permissions, activities, intent
+// filters), the Dex code (classes, methods, statements), layout resources,
+// and string resources, across multiple released versions (§3.3.1: all
+// versions of the APK with their release times).
+//
+// The static-analysis package (internal/apg) consumes this IR the way
+// Vulhunter consumes real Dex bytecode: statements carry enough structure
+// (definitions, uses, string constants, invocations) to build an AST, a
+// method call graph, and a data dependency graph, and to run backward taint
+// analysis.
+package apk
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// App is a mobile application with its version history.
+type App struct {
+	// Package is the application id, e.g. "com.fsck.k9".
+	Package string `json:"package"`
+	// Name is the human-readable app name, e.g. "K-9 Mail".
+	Name string `json:"name"`
+	// Releases holds all released versions, sorted by release time.
+	Releases []*Release `json:"releases"`
+}
+
+// Release is one released APK version.
+type Release struct {
+	// Version is the human version string, e.g. "5.2".
+	Version string `json:"version"`
+	// VersionCode is the monotonically increasing version code.
+	VersionCode int `json:"versionCode"`
+	// ReleasedAt is the publication time on the app market.
+	ReleasedAt time.Time `json:"releasedAt"`
+	// Manifest is the parsed AndroidManifest.xml.
+	Manifest Manifest `json:"manifest"`
+	// Classes are the Dex classes (third-party libraries excluded).
+	Classes []*Class `json:"classes"`
+	// Layouts are the layout resources.
+	Layouts []Layout `json:"layouts"`
+	// StringRes maps string resource ids to their values
+	// (res/values/strings.xml).
+	StringRes map[string]string `json:"stringRes"`
+}
+
+// Manifest models AndroidManifest.xml.
+type Manifest struct {
+	Package     string         `json:"package"`
+	Permissions []string       `json:"permissions"`
+	Activities  []ActivityDecl `json:"activities"`
+}
+
+// ActivityDecl declares an activity with its intent filters and layout.
+type ActivityDecl struct {
+	// Name is the fully qualified activity class name.
+	Name string `json:"name"`
+	// IntentFilters declare the intents the activity handles.
+	IntentFilters []IntentFilter `json:"intentFilters"`
+	// LayoutID names the layout resource the activity inflates
+	// (the IR shortcut for setContentView).
+	LayoutID string `json:"layoutId"`
+}
+
+// IntentFilter is one <intent-filter> element.
+type IntentFilter struct {
+	Actions    []string `json:"actions"`
+	Categories []string `json:"categories"`
+}
+
+// Intent filter constants for the starting activity (§3.3.2).
+const (
+	ActionMain       = "android.intent.action.MAIN"
+	CategoryLauncher = "android.intent.category.LAUNCHER"
+)
+
+// Class is a Dex class.
+type Class struct {
+	// Name is the fully qualified class name.
+	Name string `json:"name"`
+	// Super is the superclass name ("" for java.lang.Object).
+	Super string `json:"super"`
+	// Methods are the declared methods.
+	Methods []*Method `json:"methods"`
+}
+
+// ShortName returns the class name without its package.
+func (c *Class) ShortName() string {
+	if i := strings.LastIndexByte(c.Name, '.'); i >= 0 {
+		return c.Name[i+1:]
+	}
+	return c.Name
+}
+
+// Method is a Dex method with its statement list.
+type Method struct {
+	// Name is the method name, e.g. "getEmail" or "onCreate".
+	Name string `json:"name"`
+	// Class is the fully qualified name of the declaring class.
+	Class string `json:"class"`
+	// Statements is the straight-line statement list (the IR's AST body).
+	Statements []Statement `json:"statements"`
+}
+
+// QualifiedName returns "class.method".
+func (m *Method) QualifiedName() string { return m.Class + "." + m.Name }
+
+// Op is a statement opcode.
+type Op int
+
+// Statement opcodes. The subset mirrors what the paper's extraction needs:
+// string constants (error messages, URIs, intent actions), invocations
+// (APIs, app methods), assignments (data dependencies), and throw/catch
+// (exception localization).
+const (
+	OpConstString Op = iota + 1
+	OpNew
+	OpAssign
+	OpInvoke
+	OpThrow
+	OpCatch
+	OpReturn
+)
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpConstString:
+		return "const-string"
+	case OpNew:
+		return "new"
+	case OpAssign:
+		return "assign"
+	case OpInvoke:
+		return "invoke"
+	case OpThrow:
+		return "throw"
+	case OpCatch:
+		return "catch"
+	case OpReturn:
+		return "return"
+	default:
+		return "?"
+	}
+}
+
+// Statement is one IR statement.
+type Statement struct {
+	// Op is the opcode.
+	Op Op `json:"op"`
+	// Def is the local variable the statement defines ("" if none).
+	Def string `json:"def,omitempty"`
+	// Uses are the local variables the statement reads.
+	Uses []string `json:"uses,omitempty"`
+	// Const is the string literal of a const-string statement.
+	Const string `json:"const,omitempty"`
+	// InvokeClass/InvokeMethod name the callee of an invoke statement.
+	InvokeClass  string `json:"invokeClass,omitempty"`
+	InvokeMethod string `json:"invokeMethod,omitempty"`
+	// Exception is the exception type of a throw/catch statement.
+	Exception string `json:"exception,omitempty"`
+}
+
+// IsInvoke reports whether the statement is an invocation.
+func (s Statement) IsInvoke() bool { return s.Op == OpInvoke }
+
+// Callee returns "class.method" for invoke statements.
+func (s Statement) Callee() string { return s.InvokeClass + "." + s.InvokeMethod }
+
+// Layout is a layout resource with its widget tree.
+type Layout struct {
+	// ID is the layout resource name, e.g. "account_setup_basics".
+	ID string `json:"id"`
+	// Root is the root widget.
+	Root Widget `json:"root"`
+}
+
+// Widget is a GUI component in a layout tree.
+type Widget struct {
+	// Type is the widget class, e.g. "Button", "EditText", "LinearLayout".
+	Type string `json:"type"`
+	// ID is the android:id name, e.g. "show_password" ("" if unset).
+	ID string `json:"id,omitempty"`
+	// Text is the android:text value — either a literal or a
+	// "@string/<id>" resource reference.
+	Text string `json:"text,omitempty"`
+	// Hint is the android:hint value, same encoding as Text.
+	Hint string `json:"hint,omitempty"`
+	// Children are the nested widgets.
+	Children []Widget `json:"children,omitempty"`
+}
+
+// Walk visits the widget and all its descendants in depth-first order.
+func (w *Widget) Walk(visit func(*Widget)) {
+	visit(w)
+	for i := range w.Children {
+		w.Children[i].Walk(visit)
+	}
+}
+
+// FindClass returns the class with the given fully qualified name.
+func (r *Release) FindClass(name string) (*Class, bool) {
+	for _, c := range r.Classes {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// ClassNames returns all class names, sorted.
+func (r *Release) ClassNames() []string {
+	out := make([]string, 0, len(r.Classes))
+	for _, c := range r.Classes {
+		out = append(out, c.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StartingActivity returns the activity declared with MAIN/LAUNCHER
+// (§3.3.2), or false when none is declared.
+func (r *Release) StartingActivity() (ActivityDecl, bool) {
+	for _, a := range r.Manifest.Activities {
+		for _, f := range a.IntentFilters {
+			hasMain, hasLauncher := false, false
+			for _, act := range f.Actions {
+				if act == ActionMain {
+					hasMain = true
+				}
+			}
+			for _, cat := range f.Categories {
+				if cat == CategoryLauncher {
+					hasLauncher = true
+				}
+			}
+			if hasMain && hasLauncher {
+				return a, true
+			}
+		}
+	}
+	return ActivityDecl{}, false
+}
+
+// ResolveString resolves a text attribute: a "@string/<id>" reference is
+// looked up in the string resources; a literal is returned as-is.
+func (r *Release) ResolveString(value string) string {
+	if id, ok := strings.CutPrefix(value, "@string/"); ok {
+		if v, ok := r.StringRes[id]; ok {
+			return v
+		}
+		return ""
+	}
+	return value
+}
+
+// LayoutByID returns the layout with the given resource id.
+func (r *Release) LayoutByID(id string) (Layout, bool) {
+	for _, l := range r.Layouts {
+		if l.ID == id {
+			return l, true
+		}
+	}
+	return Layout{}, false
+}
+
+// ReleaseBefore returns the newest release published strictly before t —
+// the version a review published at t was written about (§3.3.1) — and the
+// release before that one (for update-diff localization). ok is false when
+// no release predates t.
+func (a *App) ReleaseBefore(t time.Time) (current, previous *Release, ok bool) {
+	for _, r := range a.Releases {
+		if r.ReleasedAt.Before(t) {
+			previous = current
+			current = r
+			continue
+		}
+		break
+	}
+	return current, previous, current != nil
+}
+
+// Latest returns the most recent release, or nil for an empty history.
+func (a *App) Latest() *Release {
+	if len(a.Releases) == 0 {
+		return nil
+	}
+	return a.Releases[len(a.Releases)-1]
+}
+
+// SortReleases orders the release history by release time then version code.
+func (a *App) SortReleases() {
+	sort.Slice(a.Releases, func(i, j int) bool {
+		ri, rj := a.Releases[i], a.Releases[j]
+		if !ri.ReleasedAt.Equal(rj.ReleasedAt) {
+			return ri.ReleasedAt.Before(rj.ReleasedAt)
+		}
+		return ri.VersionCode < rj.VersionCode
+	})
+}
+
+// DiffClasses returns the names of classes added or changed in next relative
+// to prev (changed = different method set or statement count). It backs the
+// app-update localizer (§4.1.6) and the release-note ground truth (Fig. 6).
+func DiffClasses(prev, next *Release) []string {
+	if prev == nil || next == nil {
+		return nil
+	}
+	prevSig := make(map[string]string, len(prev.Classes))
+	for _, c := range prev.Classes {
+		prevSig[c.Name] = classFingerprint(c)
+	}
+	var out []string
+	for _, c := range next.Classes {
+		sig, existed := prevSig[c.Name]
+		if !existed || sig != classFingerprint(c) {
+			out = append(out, c.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func classFingerprint(c *Class) string {
+	parts := make([]string, 0, len(c.Methods))
+	for _, m := range c.Methods {
+		parts = append(parts, fmt.Sprintf("%s/%d", m.Name, len(m.Statements)))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// SaveJSON writes the app (all releases) to a JSON file.
+func (a *App) SaveJSON(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal app %s: %w", a.Package, err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write app %s: %w", a.Package, err)
+	}
+	return nil
+}
+
+// LoadJSON reads an app from a JSON file written by SaveJSON.
+func LoadJSON(path string) (*App, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read app: %w", err)
+	}
+	var a App
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("decode app: %w", err)
+	}
+	return &a, nil
+}

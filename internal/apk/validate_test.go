@@ -1,0 +1,56 @@
+package apk
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateCleanApp(t *testing.T) {
+	app := sampleApp()
+	if issues := app.Validate(); len(issues) != 0 {
+		t.Errorf("clean app has issues: %v", issues)
+	}
+}
+
+func TestValidateFindsProblems(t *testing.T) {
+	b := NewBuilder("com.bad", "Bad")
+	b.Release("1.0", 1, day(0))
+	b.Activity("com.bad.GhostActivity", "missing_layout")
+	b.Layout("main", Widget{Type: "LinearLayout", Children: []Widget{
+		{Type: "TextView", Text: "@string/nope"},
+	}})
+	b.Class("com.bad.A")
+	b.Class("com.bad.A") // duplicate
+	app := b.Build()
+	// Method owned by the wrong class.
+	app.Releases[0].Classes[0].Methods = append(app.Releases[0].Classes[0].Methods,
+		&Method{Name: "m", Class: "com.bad.Other"})
+
+	issues := app.Validate()
+	wantFragments := []string{
+		"duplicate class com.bad.A",
+		"activity com.bad.GhostActivity has no class",
+		"references missing layout missing_layout",
+		`missing string resource "nope"`,
+		"claims class com.bad.Other",
+	}
+	for _, frag := range wantFragments {
+		found := false
+		for _, issue := range issues {
+			if strings.Contains(issue.String(), frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("issues %v missing %q", issues, frag)
+		}
+	}
+}
+
+func TestValidateEmptyPackage(t *testing.T) {
+	app := &App{}
+	issues := app.Validate()
+	if len(issues) != 1 || !strings.Contains(issues[0].Message, "no package") {
+		t.Errorf("issues = %v", issues)
+	}
+}

@@ -1,0 +1,305 @@
+// Package baseline re-implements the two comparison systems of the
+// evaluation: ChangeAdvisor (Palomba et al., ICSE'17) and Where2Change
+// (Zhang et al., TSE'19), following their published designs.
+//
+// ChangeAdvisor clusters function-error reviews, extracts topic words per
+// cluster, and maps a cluster to a source file when the asymmetric Dice
+// coefficient between the topic words and the file's identifier words
+// passes a threshold. It uses no semantic similarity, no bytecode
+// information beyond identifier words, and no per-review analysis — the
+// properties responsible for its false negatives in the paper's comparison.
+//
+// Where2Change additionally matches each review cluster to bug reports via
+// embedding similarity and enriches the cluster's words with the matched
+// report's words before retrieving files with a vector-space model, which
+// is why it recovers more mappings than ChangeAdvisor but fewer than
+// ReviewSolver.
+package baseline
+
+import (
+	"sort"
+	"strings"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/textproc"
+	"reviewsolver/internal/wordvec"
+)
+
+// extraStop extends the stopword list with review function words that
+// ChangeAdvisor's preprocessing removes before topic extraction.
+var extraStop = map[string]struct{}{
+	"cannot": {}, "cant": {}, "wont": {}, "dont": {}, "doesnt": {},
+	"back": {}, "into": {}, "every": {}, "time": {}, "app": {}, "still": {},
+	"please": {}, "fix": {},
+}
+
+// reviewWords normalizes a review to its stemmed content words.
+func reviewWords(text string) []string {
+	var out []string
+	for _, w := range textproc.Words(text) {
+		if textproc.IsStopword(w) || len(w) <= 2 {
+			continue
+		}
+		if _, skip := extraStop[w]; skip {
+			continue
+		}
+		out = append(out, stem(w))
+	}
+	return out
+}
+
+// stem applies the light suffix stripping ChangeAdvisor's preprocessing
+// performs ("deleted" → "delet").
+func stem(w string) string {
+	for _, suf := range []string{"ing", "ed", "es", "s", "e"} {
+		if strings.HasSuffix(w, suf) && len(w)-len(suf) >= 3 {
+			return w[:len(w)-len(suf)]
+		}
+	}
+	return w
+}
+
+// Cluster is a group of similar reviews with its topic words.
+type Cluster struct {
+	// ReviewIdx are indexes into the input review slice.
+	ReviewIdx []int
+	// Topics are the cluster's topic words (stemmed).
+	Topics []string
+}
+
+// clusterReviews greedily groups reviews by word overlap: a review joins
+// the first cluster sharing at least minShared stemmed words, else it opens
+// a new cluster. This is the deterministic stand-in for the HDP topic
+// clustering both baselines build on.
+func clusterReviews(reviews []string, minShared int) []Cluster {
+	type work struct {
+		words map[string]int
+		idx   []int
+	}
+	var clusters []*work
+	for i, r := range reviews {
+		words := reviewWords(r)
+		set := make(map[string]struct{}, len(words))
+		for _, w := range words {
+			set[w] = struct{}{}
+		}
+		var home *work
+		for _, c := range clusters {
+			shared := 0
+			for w := range set {
+				if c.words[w] > 0 {
+					shared++
+				}
+			}
+			if shared >= minShared {
+				home = c
+				break
+			}
+		}
+		if home == nil {
+			home = &work{words: make(map[string]int)}
+			clusters = append(clusters, home)
+		}
+		for w := range set {
+			home.words[w]++
+		}
+		home.idx = append(home.idx, i)
+	}
+	out := make([]Cluster, 0, len(clusters))
+	for _, c := range clusters {
+		out = append(out, Cluster{ReviewIdx: c.idx, Topics: topTopics(c.words, 5)})
+	}
+	return out
+}
+
+// topTopics returns the k most frequent words of a cluster (ties broken
+// lexicographically).
+func topTopics(counts map[string]int, k int) []string {
+	words := make([]string, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if counts[words[i]] != counts[words[j]] {
+			return counts[words[i]] > counts[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	if k > len(words) {
+		k = len(words)
+	}
+	return words[:k]
+}
+
+// classWords extracts the stemmed identifier words of each class: class
+// name words plus method name words (the "source code elements" both
+// baselines index).
+func classWords(r *apk.Release) map[string]map[string]struct{} {
+	out := make(map[string]map[string]struct{}, len(r.Classes))
+	for _, c := range r.Classes {
+		set := make(map[string]struct{})
+		for _, w := range textproc.SplitIdentifier(c.ShortName()) {
+			set[stem(w)] = struct{}{}
+		}
+		for _, m := range c.Methods {
+			for _, w := range textproc.SplitIdentifier(m.Name) {
+				set[stem(w)] = struct{}{}
+			}
+		}
+		out[c.Name] = set
+	}
+	return out
+}
+
+// asymmetricDice is the similarity ChangeAdvisor uses: |A∩B| / min(|A|,|B|).
+func asymmetricDice(a []string, b map[string]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for _, w := range a {
+		if _, ok := b[w]; ok {
+			inter++
+		}
+	}
+	den := len(a)
+	if len(b) < den {
+		den = len(b)
+	}
+	return float64(inter) / float64(den)
+}
+
+// ChangeAdvisor is the ChangeAdvisor baseline.
+type ChangeAdvisor struct {
+	// DiceThreshold is the mapping threshold (0.5 per the original).
+	DiceThreshold float64
+	// MinShared is the clustering word-overlap threshold.
+	MinShared int
+}
+
+// NewChangeAdvisor returns the baseline with the published defaults.
+func NewChangeAdvisor() *ChangeAdvisor {
+	return &ChangeAdvisor{DiceThreshold: 0.5, MinShared: 2}
+}
+
+// MapReviews maps each review to the classes its cluster's topic words
+// match; the i-th result lists the class names for reviews[i] (empty when
+// unmapped).
+func (ca *ChangeAdvisor) MapReviews(reviews []string, r *apk.Release) [][]string {
+	out := make([][]string, len(reviews))
+	words := classWords(r)
+	classes := sortedClassNames(words)
+	for _, cluster := range clusterReviews(reviews, ca.MinShared) {
+		var matched []string
+		for _, cls := range classes {
+			if asymmetricDice(cluster.Topics, words[cls]) >= ca.DiceThreshold {
+				matched = append(matched, cls)
+			}
+		}
+		if len(matched) == 0 {
+			continue
+		}
+		for _, idx := range cluster.ReviewIdx {
+			out[idx] = append([]string(nil), matched...)
+		}
+	}
+	return out
+}
+
+func sortedClassNames(words map[string]map[string]struct{}) []string {
+	out := make([]string, 0, len(words))
+	for c := range words {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BugText is a bug report's text for Where2Change.
+type BugText struct {
+	Title string
+	Body  string
+}
+
+// Where2Change is the Where2Change baseline.
+type Where2Change struct {
+	// MatchThreshold gates cluster ↔ bug-report matching.
+	MatchThreshold float64
+	// RetrieveThreshold gates enriched-text ↔ class retrieval.
+	RetrieveThreshold float64
+	// MinShared is the clustering word-overlap threshold.
+	MinShared int
+
+	vec *wordvec.Model
+}
+
+// NewWhere2Change returns the baseline with its published configuration.
+func NewWhere2Change() *Where2Change {
+	return &Where2Change{
+		MatchThreshold:    0.45,
+		RetrieveThreshold: 0.22,
+		MinShared:         3,
+		vec:               wordvec.NewModel(),
+	}
+}
+
+// MapReviews maps each review to classes using bug-report enrichment; the
+// i-th result lists the class names for reviews[i].
+func (w *Where2Change) MapReviews(reviews []string, bugs []BugText, r *apk.Release) [][]string {
+	out := make([][]string, len(reviews))
+	if len(bugs) == 0 {
+		return out
+	}
+	words := classWords(r)
+	classes := sortedClassNames(words)
+
+	bugWords := make([][]string, len(bugs))
+	for i, b := range bugs {
+		bugWords[i] = reviewWords(b.Title + " " + b.Body)
+	}
+
+	for _, cluster := range clusterReviews(reviews, w.MinShared) {
+		// Match the cluster to its most similar bug report via embeddings.
+		bestBug, bestSim := -1, w.MatchThreshold
+		for i := range bugs {
+			sim := w.vec.Similarity(cluster.Topics, bugWords[i])
+			if sim > bestSim {
+				bestBug, bestSim = i, sim
+			}
+		}
+		if bestBug < 0 {
+			continue
+		}
+		// Enrich the topic words with the matched report's words.
+		enriched := append(append([]string(nil), cluster.Topics...), bugWords[bestBug]...)
+		enrichedSet := make(map[string]struct{}, len(enriched))
+		for _, w := range enriched {
+			enrichedSet[w] = struct{}{}
+		}
+		// VSM retrieval: overlap coefficient between the enriched text and
+		// each class's identifier words.
+		var matched []string
+		for _, cls := range classes {
+			inter := 0
+			for cw := range words[cls] {
+				if _, ok := enrichedSet[cw]; ok {
+					inter++
+				}
+			}
+			if len(words[cls]) == 0 {
+				continue
+			}
+			score := float64(inter) / float64(len(words[cls]))
+			if score >= w.RetrieveThreshold {
+				matched = append(matched, cls)
+			}
+		}
+		if len(matched) == 0 {
+			continue
+		}
+		for _, idx := range cluster.ReviewIdx {
+			out[idx] = append([]string(nil), matched...)
+		}
+	}
+	return out
+}

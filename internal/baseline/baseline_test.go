@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"reviewsolver/internal/apk"
+)
+
+func testRelease() *apk.Release {
+	b := apk.NewBuilder("com.base.app", "BaseApp")
+	b.Release("1.0", 1, time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC))
+	b.Class("com.base.app.MessageViewFragment").
+		Method("moveEmail", apk.Return()).
+		Method("deleteEmail", apk.Return())
+	b.Class("com.base.app.PhotoUploader").
+		Method("uploadPhoto", apk.Return())
+	b.Class("com.base.app.Clock").
+		Method("getTime", apk.Return())
+	return b.Build().Latest()
+}
+
+func TestStem(t *testing.T) {
+	tests := map[string]string{
+		"deleted": "delet", "emails": "email", "move": "mov",
+		"crashing": "crash", "error": "error",
+	}
+	for in, want := range tests {
+		if got := stem(in); got != want {
+			t.Errorf("stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestClusterReviews(t *testing.T) {
+	reviews := []string{
+		"cannot move emails back into my inbox",
+		"moving emails is broken",
+		"photo upload keeps failing",
+	}
+	clusters := clusterReviews(reviews, 2)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2: %+v", len(clusters), clusters)
+	}
+	if !reflect.DeepEqual(clusters[0].ReviewIdx, []int{0, 1}) {
+		t.Errorf("first cluster = %v", clusters[0].ReviewIdx)
+	}
+}
+
+func TestChangeAdvisorMapsWordOverlap(t *testing.T) {
+	ca := NewChangeAdvisor()
+	// The review's stemmed words (delet, email, mov …) overlap the
+	// MessageViewFragment identifier words.
+	reviews := []string{
+		"i cannot move emails in trash deleted in error back into my inbox",
+	}
+	got := ca.MapReviews(reviews, testRelease())
+	found := false
+	for _, cls := range got[0] {
+		if cls == "com.base.app.MessageViewFragment" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("ChangeAdvisor mappings = %v, want MessageViewFragment", got[0])
+	}
+}
+
+func TestChangeAdvisorNoSemanticMatch(t *testing.T) {
+	ca := NewChangeAdvisor()
+	// "fetch mail" shares no exact stemmed words with any identifier
+	// (the class says "email", the review says "mail") — ChangeAdvisor's
+	// known false negative.
+	got := ca.MapReviews([]string{"cannot fetch mail at all, fetch mail broken"}, testRelease())
+	for _, cls := range got[0] {
+		if cls == "com.base.app.MessageViewFragment" {
+			t.Error("ChangeAdvisor should not match without exact word overlap")
+		}
+	}
+}
+
+func TestWhere2ChangeEnrichment(t *testing.T) {
+	w2c := NewWhere2Change()
+	reviews := []string{"photo upload keeps failing on my phone"}
+	bugs := []BugText{
+		{Title: "Photo upload fails", Body: "uploadPhoto in PhotoUploader throws on large photo files"},
+	}
+	got := w2c.MapReviews(reviews, bugs, testRelease())
+	found := false
+	for _, cls := range got[0] {
+		if cls == "com.base.app.PhotoUploader" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Where2Change mappings = %v, want PhotoUploader", got[0])
+	}
+}
+
+func TestWhere2ChangeNeedsBugReports(t *testing.T) {
+	w2c := NewWhere2Change()
+	got := w2c.MapReviews([]string{"photo upload keeps failing"}, nil, testRelease())
+	if len(got[0]) != 0 {
+		t.Errorf("no bug reports should mean no mappings: %v", got[0])
+	}
+}
+
+func TestMapReviewsShape(t *testing.T) {
+	ca := NewChangeAdvisor()
+	reviews := []string{"a", "b", "c"}
+	got := ca.MapReviews(reviews, testRelease())
+	if len(got) != 3 {
+		t.Errorf("result length %d != reviews %d", len(got), len(reviews))
+	}
+}
+
+func TestAsymmetricDice(t *testing.T) {
+	b := map[string]struct{}{"mov": {}, "email": {}}
+	if d := asymmetricDice([]string{"mov", "email"}, b); d != 1.0 {
+		t.Errorf("full overlap dice = %f", d)
+	}
+	if d := asymmetricDice([]string{"mov", "x", "y", "z"}, b); d != 0.5 {
+		t.Errorf("half-min dice = %f", d)
+	}
+	if d := asymmetricDice(nil, b); d != 0 {
+		t.Errorf("empty dice = %f", d)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ca := NewChangeAdvisor()
+	reviews := []string{
+		"cannot move emails into inbox",
+		"photo upload keeps failing photo",
+		"the clock time is wrong time",
+	}
+	a := ca.MapReviews(reviews, testRelease())
+	b := ca.MapReviews(reviews, testRelease())
+	if !reflect.DeepEqual(a, b) {
+		t.Error("ChangeAdvisor not deterministic")
+	}
+}

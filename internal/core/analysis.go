@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+
+	"reviewsolver/internal/phrase"
+	"reviewsolver/internal/sentiment"
+	"reviewsolver/internal/textproc"
+)
+
+// ReviewAnalysis is the §3.2 output for one review: the sentences that
+// survived sentiment and intent filtering, and the phrases extracted from
+// them.
+type ReviewAnalysis struct {
+	// Sentences are the kept (negative/neutral, non-feature-request)
+	// clause-sentences after normalization.
+	Sentences []string
+	// FilteredSentences counts sentences dropped by the intent filter.
+	FilteredSentences int
+	// PositiveSentences counts clauses dropped by sentiment analysis.
+	PositiveSentences int
+	// VerbPhrases and NounPhrases are the §3.2.4 extraction results.
+	VerbPhrases []phrase.VerbPhrase
+	NounPhrases []phrase.NounPhrase
+	// Patterns are the matched vague-error patterns (Table 5).
+	Patterns []phrase.PatternMatch
+	// Quoted are verbatim quoted spans (candidate error messages).
+	Quoted []string
+}
+
+// AnalyzeReview runs the review-analysis pipeline of §3.2 on one review:
+// pre-processing (ASCII cleanup, sentence split, typo repair, abbreviation
+// expansion), sentiment-based positive-clause removal (§3.2.3), intent
+// filtering (§3.2.4), and phrase extraction.
+func (s *Solver) AnalyzeReview(text string) *ReviewAnalysis {
+	ra := &ReviewAnalysis{Quoted: quotedSpans(text)}
+
+	for _, sent := range textproc.SplitSentences(text) {
+		for _, clause := range sentiment.SplitAdversative(sent) {
+			if s.sentiment.Classify(clause) == sentiment.Positive {
+				ra.PositiveSentences++
+				continue
+			}
+			if phrase.ClassifyIntent(clause).ShouldFilter() {
+				ra.FilteredSentences++
+				continue
+			}
+			normalized := s.normalizer.NormalizeSentence(clause)
+			ra.Sentences = append(ra.Sentences, normalized)
+		}
+	}
+
+	seenVP := make(map[string]struct{})
+	seenNP := make(map[string]struct{})
+	for _, sent := range ra.Sentences {
+		p := s.extractor.Parse(sent)
+		ex := s.extractor.Extract(p)
+		for _, vp := range ex.VerbPhrases {
+			if _, dup := seenVP[vp.String()]; dup {
+				continue
+			}
+			seenVP[vp.String()] = struct{}{}
+			ra.VerbPhrases = append(ra.VerbPhrases, vp)
+		}
+		for _, np := range ex.NounPhrases {
+			key := np.String()
+			if _, dup := seenNP[key]; dup {
+				continue
+			}
+			seenNP[key] = struct{}{}
+			ra.NounPhrases = append(ra.NounPhrases, np)
+		}
+		ra.Patterns = append(ra.Patterns, phrase.MatchPatterns(p)...)
+	}
+	return ra
+}
+
+// quotedSpans extracts the spans between double quotes — users often paste
+// the exact error message ("it just says "c:geo can't load data"").
+func quotedSpans(text string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(text, '"')
+		if i < 0 {
+			break
+		}
+		j := strings.IndexByte(text[i+1:], '"')
+		if j < 0 {
+			break
+		}
+		span := strings.TrimSpace(text[i+1 : i+1+j])
+		if span != "" && len(strings.Fields(span)) >= 2 {
+			out = append(out, span)
+		}
+		text = text[i+j+2:]
+	}
+	return out
+}

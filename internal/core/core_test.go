@@ -1,0 +1,445 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/ctxinfo"
+)
+
+// paperApp builds a test app mirroring the paper's motivating examples
+// (§2.3): K-9-style mail features, Signal-style SMS/contacts, Twidere-style
+// photo upload, WordPress-style site connection.
+func paperApp() *apk.App {
+	b := apk.NewBuilder("com.paper.app", "PaperApp")
+	t0 := time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.Release("1.0", 1, t0)
+	b.Permission("android.permission.INTERNET", "android.permission.SEND_SMS")
+
+	b.LauncherActivity("com.paper.app.MainActivity", "main")
+	b.Activity("com.paper.app.EditIdentity", "edit_identity")
+	b.Activity("com.paper.app.LoginActivity", "login")
+	b.Layout("main", apk.Widget{Type: "LinearLayout", Children: []apk.Widget{
+		{Type: "ListView", ID: "message_list"},
+	}})
+	b.Layout("edit_identity", apk.Widget{Type: "LinearLayout", Children: []apk.Widget{
+		{Type: "EditText", ID: "reply_to"},
+		{Type: "Button", ID: "save_btn", Text: "Save"},
+	}})
+	b.Layout("login", apk.Widget{Type: "LinearLayout", Children: []apk.Widget{
+		{Type: "EditText", ID: "password_edit", Hint: "Password"},
+		{Type: "Button", ID: "login_btn", Text: "Sign in"},
+	}})
+
+	b.Class("com.paper.app.MainActivity").
+		Method("onCreate", apk.Invoke("", "android.app.Activity", "setTitle")).
+		Method("onStart", apk.Return()).
+		Method("onResume", apk.Return())
+
+	// Example 1: Account.getEmail — "fetch mail" matches via semantics.
+	b.Class("com.paper.app.Account").
+		Method("getEmail",
+			apk.Invoke("c", "java.net.URLConnection", "connect"),
+			apk.Invoke("s", "java.net.HttpURLConnection", "getInputStream"))
+
+	// A Clock class that must NOT be matched by "for the longest time".
+	b.Class("com.paper.app.Clock").
+		Method("getTime", apk.Return()).
+		Method("formatTime", apk.Return())
+
+	// Example 2: SmsSendJob calls SmsManager.sendTextMessage.
+	b.Class("com.paper.app.jobs.SmsSendJob").
+		Method("deliver",
+			apk.Invoke("", "android.telephony.SmsManager", "sendTextMessage"))
+
+	// Example 3: ContactsDatabase queries the contacts provider.
+	b.Class("com.paper.app.ContactsDatabase").
+		Method("queryTextSecureContacts",
+			apk.ConstString("uri", "content://contacts"),
+			apk.Invoke("cur", "android.content.ContentResolver", "query", "uri"))
+
+	// Example 4: MediaPickerActivity sends a camera intent.
+	b.Class("com.paper.app.MediaPickerActivity").
+		Method("openCamera",
+			apk.ConstString("action", "android.media.action.IMAGE_CAPTURE"),
+			apk.NewObj("intent", "android.content.Intent"),
+			apk.Invoke("", "android.app.Activity", "startActivityForResult", "action", "intent"))
+
+	// Example 5: SendFailedNotifications raises the error message.
+	b.Class("com.paper.app.notification.SendFailedNotifications").
+		Method("notifyFailure",
+			apk.ConstString("msg", "Failed to send some messages"),
+			apk.Invoke("", "android.widget.Toast", "makeText", "msg"))
+
+	// Example 6: ReaderPostPagerActivity loads URLs (404 general task).
+	b.Class("com.paper.app.ReaderPostPagerActivity").
+		Method("loadPost",
+			apk.Invoke("", "android.webkit.WebView", "loadUrl"),
+			apk.Invoke("code", "java.net.HttpURLConnection", "getResponseCode"))
+
+	// Example 7: ImapConnection uses sockets (SocketException) while polling.
+	b.Class("com.paper.app.mail.ImapConnection").
+		Method("pollMailbox",
+			apk.Invoke("", "java.net.Socket", "connect"),
+			apk.Invoke("in", "java.net.Socket", "getInputStream"),
+			apk.Catch("SocketException"))
+
+	// A second release for the update localizer.
+	b.CopyRelease("1.1", 2, t0.AddDate(0, 2, 0))
+	b.Class("com.paper.app.NewSyncEngine").
+		Method("syncEverything", apk.Invoke("", "java.net.URLConnection", "connect"))
+
+	return b.Build()
+}
+
+func reviewTime() time.Time { return time.Date(2018, 2, 1, 0, 0, 0, 0, time.UTC) }
+func afterUpdate() time.Time {
+	return time.Date(2018, 4, 1, 0, 0, 0, 0, time.UTC)
+}
+
+func mappedClasses(res *Result) map[string][]ctxinfo.Type {
+	out := make(map[string][]ctxinfo.Type)
+	for _, m := range res.Mappings {
+		out[m.Class] = append(out[m.Class], m.Context)
+	}
+	return out
+}
+
+func TestExample1FetchMailNoClockFalsePositive(t *testing.T) {
+	s := New()
+	app := paperApp()
+	res := s.LocalizeReview(app, "Unable to fetch mail on Samsung Note 4 for the longest time", reviewTime())
+	classes := mappedClasses(res)
+	if _, ok := classes["com.paper.app.Account"]; !ok {
+		t.Errorf("'fetch mail' should map to Account.getEmail; got %v", classes)
+	}
+	if _, bad := classes["com.paper.app.Clock"]; bad {
+		t.Error("false positive: 'time' mapped to Clock")
+	}
+}
+
+func TestExample2SendSMS(t *testing.T) {
+	s := New()
+	res := s.LocalizeReview(paperApp(),
+		"Unfortunately I can no longer send SMS to any non-signal user.", reviewTime())
+	classes := mappedClasses(res)
+	ctxs, ok := classes["com.paper.app.jobs.SmsSendJob"]
+	if !ok {
+		t.Fatalf("'send SMS' should map to SmsSendJob; got %v", classes)
+	}
+	hasAPI := false
+	for _, c := range ctxs {
+		if c == ctxinfo.APIURIIntent || c == ctxinfo.GeneralTask {
+			hasAPI = true
+		}
+	}
+	if !hasAPI {
+		t.Errorf("SmsSendJob mapped but not via API/general-task localizer: %v", ctxs)
+	}
+}
+
+func TestExample3FindContact(t *testing.T) {
+	s := New()
+	res := s.LocalizeReview(paperApp(),
+		"Signal crashed when i tried to find contact while writing sms", reviewTime())
+	classes := mappedClasses(res)
+	if _, ok := classes["com.paper.app.ContactsDatabase"]; !ok {
+		t.Errorf("'find contact' should map to ContactsDatabase; got %v", classes)
+	}
+}
+
+func TestExample4UploadPhotos(t *testing.T) {
+	s := New()
+	res := s.LocalizeReview(paperApp(), "Update: uploading photos error.", reviewTime())
+	classes := mappedClasses(res)
+	if _, ok := classes["com.paper.app.MediaPickerActivity"]; !ok {
+		t.Errorf("'upload photos' should map to MediaPickerActivity (camera intent); got %v", classes)
+	}
+}
+
+func TestExample5ErrorMessage(t *testing.T) {
+	s := New()
+	res := s.LocalizeReview(paperApp(),
+		`I like the app, but I receive an error message saying "Failed to send some messages" EVERY time I send an email.`,
+		reviewTime())
+	classes := mappedClasses(res)
+	ctxs, ok := classes["com.paper.app.notification.SendFailedNotifications"]
+	if !ok {
+		t.Fatalf("quoted message should map to SendFailedNotifications; got %v", classes)
+	}
+	hasMsg := false
+	for _, c := range ctxs {
+		if c == ctxinfo.ErrorMessage {
+			hasMsg = true
+		}
+	}
+	if !hasMsg {
+		t.Errorf("mapping found but not via error-message localizer: %v", ctxs)
+	}
+}
+
+func TestExample6General404(t *testing.T) {
+	s := New()
+	res := s.LocalizeReview(paperApp(),
+		"Won't connect. Get a 404 error when adding wordpress site.", reviewTime())
+	classes := mappedClasses(res)
+	if _, ok := classes["com.paper.app.ReaderPostPagerActivity"]; !ok {
+		t.Errorf("'404 error' should map to ReaderPostPagerActivity via Q&A; got %v", classes)
+	}
+}
+
+func TestExample7SocketException(t *testing.T) {
+	s := New()
+	res := s.LocalizeReview(paperApp(), "there's a socket exception when it polls", reviewTime())
+	classes := mappedClasses(res)
+	ctxs, ok := classes["com.paper.app.mail.ImapConnection"]
+	if !ok {
+		t.Fatalf("'socket exception' should map to ImapConnection; got %v", classes)
+	}
+	hasExc := false
+	for _, c := range ctxs {
+		if c == ctxinfo.Exception {
+			hasExc = true
+		}
+	}
+	if !hasExc {
+		t.Errorf("mapping found but not via exception localizer: %v", ctxs)
+	}
+}
+
+func TestReplyButtonGUI(t *testing.T) {
+	s := New()
+	res := s.LocalizeReview(paperApp(),
+		"Reinstalled the app, reply button now doesn't show, can't find any solutions.", reviewTime())
+	classes := mappedClasses(res)
+	if _, ok := classes["com.paper.app.EditIdentity"]; !ok {
+		t.Errorf("'reply button' should map to EditIdentity (reply_to widget); got %v", classes)
+	}
+}
+
+func TestOpeningAppLocalizer(t *testing.T) {
+	s := New()
+	res := s.LocalizeReview(paperApp(), "It crashed every time I opened it.", reviewTime())
+	found := false
+	for _, m := range res.Mappings {
+		if m.Class == "com.paper.app.MainActivity" && m.Context == ctxinfo.OpeningApp {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("launch crash should map to starting activity lifecycle; got %+v", res.Mappings)
+	}
+}
+
+func TestRegistrationLocalizer(t *testing.T) {
+	s := New()
+	res := s.LocalizeReview(paperApp(), "Cannot login to my gmail", reviewTime())
+	found := false
+	for _, m := range res.Mappings {
+		if m.Class == "com.paper.app.LoginActivity" && m.Context == ctxinfo.RegisteringAccount {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("login error should map to LoginActivity; got %+v", res.Mappings)
+	}
+}
+
+func TestUpdateFallback(t *testing.T) {
+	s := New()
+	// Vague update complaint with no other context: recommend the diff.
+	res := s.LocalizeReview(paperApp(), "App started crashing after recent update.", afterUpdate())
+	found := false
+	for _, m := range res.Mappings {
+		if m.Class == "com.paper.app.NewSyncEngine" && m.Context == ctxinfo.UpdatingApp {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("update complaint should map to diff classes; got %+v", res.Mappings)
+	}
+}
+
+func TestUpdateNotUsedWhenOtherContextExists(t *testing.T) {
+	s := New()
+	res := s.LocalizeReview(paperApp(),
+		"Since the latest update i cannot send sms anymore.", afterUpdate())
+	for _, m := range res.Mappings {
+		if m.Context == ctxinfo.UpdatingApp {
+			t.Errorf("diff fallback used despite API context: %+v", m)
+		}
+	}
+	if _, ok := mappedClasses(res)["com.paper.app.jobs.SmsSendJob"]; !ok {
+		t.Error("send sms context lost")
+	}
+}
+
+func TestNegatedErrorNotMapped(t *testing.T) {
+	s := New()
+	// "does not contain any bugs" is not an error description; the review
+	// analysis must not produce error-word mappings for it.
+	res := s.LocalizeReview(paperApp(), "the app does not contain any bugs", reviewTime())
+	for _, m := range res.Mappings {
+		if m.Context == ctxinfo.ErrorMessage {
+			t.Errorf("negated bug mention produced error mapping: %+v", m)
+		}
+	}
+}
+
+func TestRankingTopNAndOrder(t *testing.T) {
+	s := New()
+	app := paperApp()
+	res := s.LocalizeReview(app,
+		"I get an out of memory error message and can't take pictures. Also i cannot send sms.",
+		reviewTime())
+	if len(res.Ranked) > TopN {
+		t.Errorf("ranked %d classes, cap is %d", len(res.Ranked), TopN)
+	}
+	for i := 1; i < len(res.Ranked); i++ {
+		prev, cur := res.Ranked[i-1], res.Ranked[i]
+		if prev.Importance < cur.Importance {
+			t.Errorf("ranking not by importance: %v before %v", prev, cur)
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	s := New()
+	res := s.LocalizeReview(paperApp(), "i cannot send sms", reviewTime())
+	if !res.Localized() {
+		t.Fatal("review should be localized")
+	}
+	names := res.RankedClassNames()
+	if len(names) == 0 || names[0] == "" {
+		t.Errorf("RankedClassNames = %v", names)
+	}
+}
+
+func TestPositiveClauseDiscarded(t *testing.T) {
+	s := New()
+	ra := s.AnalyzeReview("It's a great app but since the last update my stats page doesnt work properly.")
+	if ra.PositiveSentences == 0 {
+		t.Error("positive clause not detected")
+	}
+	for _, sent := range ra.Sentences {
+		if strings.Contains(sent, "great app") {
+			t.Errorf("positive clause kept: %q", sent)
+		}
+	}
+}
+
+func TestIntentFilteredSentences(t *testing.T) {
+	s := New()
+	ra := s.AnalyzeReview("The app crashes on startup. Please add a dark theme. I use Nougat 7.0 android version.")
+	if ra.FilteredSentences < 2 {
+		t.Errorf("filtered %d sentences, want >= 2", ra.FilteredSentences)
+	}
+}
+
+func TestQuotedSpans(t *testing.T) {
+	got := quotedSpans(`it says "cannot load data" and then "server timed out" again`)
+	if len(got) != 2 || got[0] != "cannot load data" || got[1] != "server timed out" {
+		t.Errorf("quotedSpans = %v", got)
+	}
+	if quotedSpans(`no quotes here`) != nil {
+		t.Error("expected nil for quote-free text")
+	}
+	// Single-word quotes are ignored ("c:geo" style app names).
+	if got := quotedSpans(`i love "k9" a lot`); got != nil {
+		t.Errorf("single-word quote kept: %v", got)
+	}
+}
+
+func TestMethodNamePhrase(t *testing.T) {
+	tests := []struct {
+		name, class string
+		want        string
+	}{
+		{"getEmail", "Account", "get email"},
+		{"move", "MessageListFragment", "move message list fragment"},
+		{"onCreate", "MainActivity", "create main activity"},
+		{"emailValidator", "Util", "email validator"},
+	}
+	for _, tt := range tests {
+		got := strings.Join(methodNamePhrase(tt.name, tt.class), " ")
+		if got != tt.want {
+			t.Errorf("methodNamePhrase(%q,%q) = %q, want %q", tt.name, tt.class, got, tt.want)
+		}
+	}
+}
+
+func TestStaticExtractionInventory(t *testing.T) {
+	s := New()
+	info := s.StaticFor(paperApp().Releases[0])
+	if info.StartingActivity != "com.paper.app.MainActivity" {
+		t.Errorf("starting activity = %q", info.StartingActivity)
+	}
+	if len(info.APIs) == 0 || len(info.URIs) == 0 || len(info.Intents) == 0 ||
+		len(info.Messages) == 0 || len(info.MethodPhrases) == 0 || len(info.GUIs) == 0 {
+		t.Errorf("incomplete extraction: APIs=%d URIs=%d intents=%d msgs=%d methods=%d GUIs=%d",
+			len(info.APIs), len(info.URIs), len(info.Intents),
+			len(info.Messages), len(info.MethodPhrases), len(info.GUIs))
+	}
+	// Cache must return the identical pointer.
+	if s.StaticFor(paperApp().Releases[0]) == info {
+		t.Error("different release pointer should re-extract")
+	}
+	r := paperApp().Releases[0]
+	a := s.StaticFor(r)
+	if s.StaticFor(r) != a {
+		t.Error("same release pointer should hit the cache")
+	}
+}
+
+// TestSavePhotosToSDCard covers Table 1 case (7): the API localizer must
+// map storage complaints to the class writing external storage.
+func TestSavePhotosToSDCard(t *testing.T) {
+	b := apk.NewBuilder("com.cam.app", "CamApp")
+	b.Release("1.0", 1, time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC))
+	b.Class("com.cam.app.MediaStore").
+		Method("persistImage",
+			apk.Invoke("dir", "android.os.Environment", "getExternalStorageDirectory"),
+			apk.Invoke("", "java.io.FileOutputStream", "write", "dir"))
+	app := b.Build()
+
+	s := New()
+	res := s.LocalizeReview(app, "But I cannot save photos to sd card with it", reviewTime())
+	classes := mappedClasses(res)
+	if _, ok := classes["com.cam.app.MediaStore"]; !ok {
+		t.Errorf("'save photos to sd card' should map to MediaStore; got %v", classes)
+	}
+}
+
+// TestURIPermissionNouns covers the URI branch of Algorithm 1: a
+// collection-verb phrase whose object matches the permission nouns of a
+// queried content URI ("read the user's call log").
+func TestURIPermissionNouns(t *testing.T) {
+	b := apk.NewBuilder("com.dialer.app", "DialerApp")
+	b.Release("1.0", 1, time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC))
+	b.Class("com.dialer.app.CallHistory").
+		Method("loadHistory",
+			apk.ConstString("uri", "content://call_log"),
+			apk.Invoke("cur", "android.content.ContentResolver", "query", "uri"))
+	app := b.Build()
+
+	s := New()
+	res := s.LocalizeReview(app, "the app cannot read my call log anymore", reviewTime())
+	classes := mappedClasses(res)
+	if _, ok := classes["com.dialer.app.CallHistory"]; !ok {
+		t.Errorf("'read call log' should map to CallHistory via the URI permission nouns; got %v", classes)
+	}
+}
+
+func TestRankClassesTieBreak(t *testing.T) {
+	mappings := []Mapping{
+		{Phrase: "p1", Class: "A", Context: ctxinfo.GUI},
+		{Phrase: "p1", Class: "B", Context: ctxinfo.GUI},
+		{Phrase: "p2", Class: "B", Context: ctxinfo.APIURIIntent},
+	}
+	ranked := RankClasses(mappings, nil, 10)
+	if len(ranked) != 2 || ranked[0].Class != "B" || ranked[0].Importance != 2 {
+		t.Errorf("ranking = %+v", ranked)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+
+	"reviewsolver/internal/textproc"
+)
+
+// This file implements the §6.6 "future work" extensions the paper sketches
+// as remedies for its false positives/negatives:
+//
+//   - DetectDevices: "use information retrieval technique to recognize the
+//     types of devices and report them to developer automatically" — for
+//     compatibility complaints that cannot be localized in code.
+//   - MentionsResolvedIssue: "analyze the tense of the review to identify
+//     the fixed bugs (e.g., '... has been fixed') and check the subject
+//     related to the bug (e.g., 'my apps')" — removing the classifier's
+//     false positives on bug-mentioning praise.
+
+// DeviceMention is a device or OS-version reference found in a review.
+type DeviceMention struct {
+	// Kind is "device" or "os".
+	Kind string
+	// Text is the mention as written ("samsung note 4", "android 7.0").
+	Text string
+}
+
+// deviceVendors are recognized handset vendors/brands.
+var deviceVendors = map[string]struct{}{
+	"samsung": {}, "xiaomi": {}, "huawei": {}, "nexus": {}, "pixel": {},
+	"galaxy": {}, "oneplus": {}, "motorola": {}, "sony": {}, "lg": {},
+	"htc": {}, "oppo": {}, "honor": {}, "redmi": {}, "nokia": {},
+}
+
+// deviceModels follow a vendor word ("note", "mi4c", "s8", …) — any short
+// alphanumeric token qualifies.
+func isModelToken(t textproc.Token) bool {
+	if t.Kind == textproc.Number {
+		return true
+	}
+	if t.Kind != textproc.Word || len(t.Lower) > 8 {
+		return false
+	}
+	hasDigit := false
+	for i := 0; i < len(t.Lower); i++ {
+		if t.Lower[i] >= '0' && t.Lower[i] <= '9' {
+			hasDigit = true
+		}
+	}
+	return hasDigit || t.Lower == "note" || t.Lower == "tab" || t.Lower == "mini" ||
+		t.Lower == "pro" || t.Lower == "plus" || t.Lower == "ultra"
+}
+
+// DetectDevices finds device and OS-version mentions in a review. Reviews
+// whose only context is the device are compatibility reports; the paper
+// proposes surfacing the device list to developers instead of a (spurious)
+// code mapping.
+func DetectDevices(review string) []DeviceMention {
+	var out []DeviceMention
+	toks := textproc.Tokenize(review)
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind != textproc.Word {
+			continue
+		}
+		if _, isVendor := deviceVendors[t.Lower]; isVendor {
+			// Absorb following model tokens ("samsung note 4").
+			words := []string{t.Lower}
+			j := i + 1
+			for j < len(toks) && isModelToken(toks[j]) {
+				words = append(words, toks[j].Lower)
+				j++
+			}
+			out = append(out, DeviceMention{Kind: "device", Text: strings.Join(words, " ")})
+			i = j - 1
+			continue
+		}
+		if t.Lower == "android" || t.Lower == "ios" {
+			words := []string{t.Lower}
+			j := i + 1
+			for j < len(toks) && j <= i+2 &&
+				(toks[j].Kind == textproc.Number || isOSName(toks[j].Lower)) {
+				words = append(words, toks[j].Lower)
+				j++
+			}
+			out = append(out, DeviceMention{Kind: "os", Text: strings.Join(words, " ")})
+			i = j - 1
+		} else if isOSName(t.Lower) {
+			out = append(out, DeviceMention{Kind: "os", Text: t.Lower})
+		}
+	}
+	return out
+}
+
+func isOSName(w string) bool {
+	switch w {
+	case "nougat", "oreo", "pie", "lollipop", "marshmallow", "kitkat",
+		"jellybean", "version":
+		return true
+	}
+	return false
+}
+
+// resolvedCues signal that the mentioned bug is already fixed (past
+// perfect / resolution vocabulary), so the review praises rather than
+// reports.
+var resolvedCues = []string{
+	"has been fixed", "have been fixed", "was fixed", "were fixed",
+	"is fixed", "got fixed", "is gone now", "got resolved",
+	"was solved", "disappeared after", "never came back", "no more crash",
+	"no more bug", "no more error", "no more freeze", "not a problem anymore",
+	"used to crash", "used to freeze", "used to have",
+}
+
+// otherAppCues signal that the bug belongs to a different app
+// ("why my apps crashed").
+var otherAppCues = []string{
+	"my other apps", "other apps", "my apps crashed", "another app",
+	"every other app",
+}
+
+// MentionsResolvedIssue reports whether the review's error vocabulary
+// refers to an already-fixed bug or to another app — the tense/subject
+// analysis of §6.6. Callers use it as a post-filter on the classifier:
+//
+//	if solver.IsErrorReview(text) && !core.MentionsResolvedIssue(text) { … }
+func MentionsResolvedIssue(review string) bool {
+	lower := " " + strings.ToLower(review) + " "
+	for _, cue := range resolvedCues {
+		if strings.Contains(lower, cue) {
+			return true
+		}
+	}
+	for _, cue := range otherAppCues {
+		if strings.Contains(lower, cue) {
+			return true
+		}
+	}
+	// Generic pattern: <error word> ... <resolution verb> within one
+	// sentence.
+	for _, sentence := range textproc.SplitSentences(review) {
+		words := textproc.Words(sentence)
+		errIdx, fixIdx := -1, -1
+		for i, w := range words {
+			switch w {
+			case "crash", "crashes", "bug", "bugs", "error", "errors",
+				"freeze", "freezes", "glitch", "problem", "problems", "issue", "issues":
+				if errIdx < 0 {
+					errIdx = i
+				}
+			case "fixed", "resolved", "solved", "gone", "repaired":
+				fixIdx = i
+			}
+		}
+		if errIdx >= 0 && fixIdx > errIdx {
+			return true
+		}
+	}
+	return false
+}

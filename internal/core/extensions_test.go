@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"reviewsolver/internal/apk"
+)
+
+func TestDetectDevices(t *testing.T) {
+	tests := []struct {
+		review string
+		want   []string
+	}{
+		{"Unable to fetch mail on Samsung Note 4", []string{"samsung note 4"}},
+		{"Please fix the bug. i'm using xiaomi mi4c", []string{"xiaomi mi4c"}},
+		{"crashes on android 7.0 all the time", []string{"android 7.0"}},
+		{"I use Nougat on my Pixel 2", []string{"nougat", "pixel 2"}},
+		{"the app crashes constantly", nil},
+	}
+	for _, tt := range tests {
+		got := DetectDevices(tt.review)
+		var texts []string
+		for _, m := range got {
+			texts = append(texts, m.Text)
+		}
+		if len(texts) != len(tt.want) {
+			t.Errorf("DetectDevices(%q) = %v, want %v", tt.review, texts, tt.want)
+			continue
+		}
+		for i := range texts {
+			if texts[i] != tt.want[i] {
+				t.Errorf("DetectDevices(%q)[%d] = %q, want %q", tt.review, i, texts[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestDetectDevicesKinds(t *testing.T) {
+	ms := DetectDevices("samsung s8 running android 8.0")
+	kinds := map[string]int{}
+	for _, m := range ms {
+		kinds[m.Kind]++
+	}
+	if kinds["device"] != 1 || kinds["os"] != 1 {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestMentionsResolvedIssue(t *testing.T) {
+	resolved := []string{
+		"The crash from the last version has been fixed, thank you!",
+		"No more crashes after the update, works great now.",
+		"This app helped me see why my other apps crashed so i could fix the bugs.",
+		"The bug i reported got resolved quickly, five stars.",
+		"Used to have a freeze on the old release but it never came back.",
+	}
+	for _, r := range resolved {
+		if !MentionsResolvedIssue(r) {
+			t.Errorf("MentionsResolvedIssue(%q) = false, want true", r)
+		}
+	}
+	active := []string{
+		"The app keeps crashing when i open links.",
+		"Crash after crash. Uninstall very fast!",
+		"There is a bug in the sync engine.",
+		"Cannot login to my account.",
+	}
+	for _, r := range active {
+		if MentionsResolvedIssue(r) {
+			t.Errorf("MentionsResolvedIssue(%q) = true, want false", r)
+		}
+	}
+}
+
+// TestSummarizerLocalizesObfuscatedApp reproduces the §3.3.2 obfuscation
+// scenario: when ProGuard renames every method to "a"/"b", the raw-name
+// localizer goes blind, but the Code2vec summarizer recovers the mapping
+// from the method bodies.
+func TestSummarizerLocalizesObfuscatedApp(t *testing.T) {
+	// An app whose SMS-sending method has a meaningful body.
+	build := func(obfuscate bool) *apk.App {
+		name := "sendMessage"
+		if obfuscate {
+			name = "a"
+		}
+		b := apk.NewBuilder("com.obf.app", "ObfApp")
+		b.Release("1.0", 1, time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+		b.Class("com.obf.app.Worker").
+			Method(name,
+				apk.ConstString("s", "sending message"),
+				apk.Invoke("", "android.telephony.SmsManager", "sendTextMessage", "s"),
+				apk.Invoke("", "android.telephony.SmsManager", "divideMessage"))
+		return b.Build()
+	}
+
+	// Train the summarizer on the unobfuscated build (the F-Droid corpus
+	// role) — several copies make the association strong.
+	trainer := apk.NewBuilder("com.train.app", "Train")
+	trainer.Release("1.0", 1, time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC))
+	cb := trainer.Class("com.train.app.W")
+	for i := 0; i < 5; i++ {
+		cb.Method("sendMessage",
+			apk.ConstString("s", "sending message"),
+			apk.Invoke("", "android.telephony.SmsManager", "sendTextMessage", "s"),
+			apk.Invoke("", "android.telephony.SmsManager", "divideMessage"))
+	}
+	model := newTrainedSummarizer(t, trainer.Build().Latest())
+
+	when := time.Date(2024, 2, 1, 0, 0, 0, 0, time.UTC)
+	review := "i cannot send messages anymore"
+
+	// Without the summarizer the obfuscated app yields no app-specific
+	// mapping (API localizer may still fire; check contexts).
+	plain := New()
+	resPlain := plain.LocalizeReview(build(true), review, when)
+	for _, m := range resPlain.Mappings {
+		if m.Context.String() == "App Specific Task" {
+			t.Fatalf("obfuscated app should not map via method names: %+v", m)
+		}
+	}
+
+	// With the summarizer the method body predicts "send"/"message" and the
+	// app-specific localizer fires.
+	smart := New(WithSummarizer(model))
+	resSmart := smart.LocalizeReview(build(true), review, when)
+	found := false
+	for _, m := range resSmart.Mappings {
+		if m.Class == "com.obf.app.Worker" && m.Context.String() == "App Specific Task" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("summarizer did not recover the obfuscated mapping: %+v", resSmart.Mappings)
+	}
+}

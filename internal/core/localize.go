@@ -1,0 +1,705 @@
+package core
+
+import (
+	"strings"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/ctxinfo"
+	"reviewsolver/internal/gui"
+	"reviewsolver/internal/phrase"
+	"reviewsolver/internal/textproc"
+	"reviewsolver/internal/wordvec"
+)
+
+// Mapping is one correlation between a review phrase and a code location.
+type Mapping struct {
+	// Phrase is the review phrase that triggered the mapping.
+	Phrase string
+	// Class is the recommended class.
+	Class string
+	// Method is the recommended method when one is known ("" otherwise).
+	Method string
+	// Context identifies the localizer (Table 1 context type) that found
+	// the mapping.
+	Context ctxinfo.Type
+	// Evidence describes what the phrase matched (method name, API
+	// description, widget id, …).
+	Evidence string
+}
+
+// Localize runs every applicable localizer (§4.1 app-specific, §4.2
+// general) and returns the combined mappings.
+func (s *Solver) Localize(ra *ReviewAnalysis, info *StaticInfo, previous, current *apk.Release) []Mapping {
+	var out []Mapping
+	out = append(out, s.localizeAppSpecific(ra, info)...)
+	out = append(out, s.localizeGUI(ra, info)...)
+	out = append(out, s.localizeErrorMessage(ra, info)...)
+	out = append(out, s.localizeOpeningApp(ra, info)...)
+	out = append(out, s.localizeRegistration(ra, info)...)
+	out = append(out, s.localizeAPIURIIntent(ra, info)...)
+	out = append(out, s.localizeGeneralTask(ra, info)...)
+	out = append(out, s.localizeException(ra, info)...)
+	// §4.1.6: update-related errors fall back to the version diff only when
+	// nothing else localized the review.
+	out = append(out, s.localizeUpdate(ra, out, previous, current)...)
+	return dedupMappings(out)
+}
+
+// LocalizeByContext runs a single context localizer, for per-context
+// effectiveness (Table 12) and timing (Table 15) measurements.
+func (s *Solver) LocalizeByContext(ctx ctxinfo.Type, ra *ReviewAnalysis, info *StaticInfo, previous, current *apk.Release) []Mapping {
+	switch ctx {
+	case ctxinfo.AppSpecificTask:
+		return s.localizeAppSpecific(ra, info)
+	case ctxinfo.GUI:
+		return s.localizeGUI(ra, info)
+	case ctxinfo.ErrorMessage:
+		return s.localizeErrorMessage(ra, info)
+	case ctxinfo.OpeningApp:
+		return s.localizeOpeningApp(ra, info)
+	case ctxinfo.RegisteringAccount:
+		return s.localizeRegistration(ra, info)
+	case ctxinfo.APIURIIntent:
+		return s.localizeAPIURIIntent(ra, info)
+	case ctxinfo.GeneralTask:
+		return s.localizeGeneralTask(ra, info)
+	case ctxinfo.Exception:
+		return s.localizeException(ra, info)
+	case ctxinfo.UpdatingApp:
+		return s.localizeUpdate(ra, nil, previous, current)
+	default:
+		return nil
+	}
+}
+
+func dedupMappings(ms []Mapping) []Mapping {
+	seen := make(map[string]struct{}, len(ms))
+	out := ms[:0]
+	for _, m := range ms {
+		key := m.Phrase + "\x00" + m.Class + "\x00" + m.Method + "\x00" + m.Context.String()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, m)
+	}
+	return out
+}
+
+// --- §4.1.1 App specific task -------------------------------------------------
+
+// localizeAppSpecific compares each review verb phrase against the verb
+// phrases derived from method names and Code2vec summaries.
+func (s *Solver) localizeAppSpecific(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+	var out []Mapping
+	for _, vp := range ra.VerbPhrases {
+		words := vp.Words()
+		v := s.vec.PhraseVector(words)
+		for _, mp := range info.MethodPhrases {
+			if wordvec.Cosine(v, mp.Vec) < s.vec.Threshold() {
+				continue
+			}
+			evidence := "method name " + mp.Method.Name
+			if mp.FromSummary {
+				evidence = "method summary [" + strings.Join(mp.Words, " ") + "]"
+			}
+			out = append(out, Mapping{
+				Phrase:   vp.String(),
+				Class:    mp.Method.Class,
+				Method:   mp.Method.Name,
+				Context:  ctxinfo.AppSpecificTask,
+				Evidence: evidence,
+			})
+		}
+	}
+	return out
+}
+
+// --- §4.1.2 GUI -----------------------------------------------------------------
+
+// widgetNouns are the explicit GUI nouns of case (1) in §4.1.2.
+var widgetNouns = map[string]struct{}{
+	"button": {}, "buttons": {}, "menu": {}, "tab": {}, "tabs": {},
+	"icon": {}, "checkbox": {}, "screen": {}, "page": {}, "list": {},
+	"keyboard": {}, "widget": {}, "bar": {}, "dialog": {}, "toggle": {},
+	"slider": {}, "spinner": {},
+}
+
+// issueNouns are the implicit issue nouns of case (2).
+var issueNouns = map[string]struct{}{
+	"issue": {}, "issues": {}, "error": {}, "errors": {}, "problem": {},
+	"problems": {}, "trouble": {},
+}
+
+// localizeGUI maps GUI-related noun phrases and vague-error patterns to the
+// activities whose visible/invisible labels mention them.
+func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+	var out []Mapping
+
+	addActivity := func(phraseText, activity, evidence string) {
+		out = append(out, Mapping{
+			Phrase:   phraseText,
+			Class:    activity,
+			Context:  ctxinfo.GUI,
+			Evidence: evidence,
+		})
+	}
+
+	for _, np := range ra.NounPhrases {
+		// Case (1): explicit widget mention — the modifier words name the
+		// widget's purpose ("reply button" → search "reply").
+		if _, isWidget := widgetNouns[np.Head]; isWidget && len(np.Modifiers) > 0 {
+			for _, mod := range np.Modifiers {
+				if textproc.IsStopword(mod) {
+					continue
+				}
+				for _, activity := range gui.FindByVisibleWord(info.GUIs, mod) {
+					addActivity(np.String(), activity, "visible label contains "+mod)
+				}
+				out = append(out, s.matchInvisibleWord(np.String(), mod, info)...)
+			}
+		}
+		// Case (2): implicit issue mention ("certificate issues") — search
+		// the modifying word in the visible labels.
+		if _, isIssue := issueNouns[np.Head]; isIssue {
+			for _, mod := range np.Modifiers {
+				if textproc.IsStopword(mod) || phrase.IsErrorWord(mod) {
+					continue
+				}
+				for _, activity := range gui.FindByVisibleWord(info.GUIs, mod) {
+					addActivity(np.String(), activity, "visible label contains "+mod)
+				}
+			}
+		}
+	}
+
+	// Verb phrases against invisible widget-id phrases ("show password").
+	for _, vp := range ra.VerbPhrases {
+		out = append(out, s.matchInvisible(vp.String(), vp.Words(), info)...)
+	}
+
+	// Vague-error patterns (Table 5): look the function words up in the
+	// visible labels.
+	for _, pm := range ra.Patterns {
+		for _, fn := range pm.Function {
+			if textproc.IsStopword(fn) {
+				continue
+			}
+			for _, activity := range gui.FindByVisibleWord(info.GUIs, fn) {
+				addActivity(strings.Join(pm.Function, " "), activity,
+					pm.Pattern.String()+" function word "+fn)
+			}
+		}
+	}
+	return out
+}
+
+// matchInvisible compares a review phrase against the expanded widget-id
+// phrases of each activity.
+func (s *Solver) matchInvisible(phraseText string, words []string, info *StaticInfo) []Mapping {
+	var out []Mapping
+	v := s.vec.PhraseVector(contentOnly(words))
+	for gi := range info.GUIs {
+		g := &info.GUIs[gi]
+		for wi, idWords := range g.InvisibleWords {
+			if len(idWords) == 0 {
+				continue
+			}
+			if wordvec.Cosine(v, s.vec.PhraseVector(idWords)) < s.vec.Threshold() {
+				continue
+			}
+			out = append(out, Mapping{
+				Phrase:   phraseText,
+				Class:    g.Activity,
+				Context:  ctxinfo.GUI,
+				Evidence: "widget id " + g.WidgetIDs[wi],
+			})
+		}
+	}
+	return out
+}
+
+// matchInvisibleWord searches one widget-purpose word ("reply") across the
+// expanded widget-id words of each activity (§4.1.2 case 1: "we search the
+// word 'reply' that modifies the 'button' in the information related to
+// each GUI component").
+func (s *Solver) matchInvisibleWord(phraseText, word string, info *StaticInfo) []Mapping {
+	var out []Mapping
+	for gi := range info.GUIs {
+		g := &info.GUIs[gi]
+		for wi, idWords := range g.InvisibleWords {
+			matched := false
+			for _, w := range idWords {
+				if w == word || (!textproc.IsStopword(w) &&
+					s.vec.WordSimilarity(w, word) >= s.vec.Threshold()) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				continue
+			}
+			out = append(out, Mapping{
+				Phrase:   phraseText,
+				Class:    g.Activity,
+				Context:  ctxinfo.GUI,
+				Evidence: "widget id " + g.WidgetIDs[wi],
+			})
+		}
+	}
+	return out
+}
+
+func contentOnly(words []string) []string {
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if !textproc.IsStopword(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// --- §4.1.3 Error message -------------------------------------------------------
+
+// localizeErrorMessage matches quoted error messages against the app's
+// message strings, and error-type noun phrases against API descriptions.
+func (s *Solver) localizeErrorMessage(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+	var out []Mapping
+
+	// Precise messages: quoted spans matched by normalized containment.
+	for _, quoted := range ra.Quoted {
+		nq := normalizeMessage(quoted)
+		if nq == "" {
+			continue
+		}
+		for _, msg := range info.Messages {
+			nm := normalizeMessage(msg.Text)
+			if nm == "" || !(strings.Contains(nm, nq) || strings.Contains(nq, nm)) {
+				continue
+			}
+			for _, cls := range msg.Classes {
+				out = append(out, Mapping{
+					Phrase:   quoted,
+					Class:    cls,
+					Context:  ctxinfo.ErrorMessage,
+					Evidence: "app message " + msg.Text,
+				})
+			}
+		}
+	}
+
+	// Error types: "connection error" → APIs whose descriptions mention the
+	// modifier → classes calling them.
+	for _, np := range ra.NounPhrases {
+		mods := phrase.ErrorModifier(np)
+		if len(mods) == 0 {
+			continue
+		}
+		for _, mod := range mods {
+			for _, use := range info.APIs {
+				if !descriptionMentions(use.API.Description, mod, s.vec) {
+					continue
+				}
+				for _, cls := range use.Classes {
+					out = append(out, Mapping{
+						Phrase:   np.String(),
+						Class:    cls,
+						Context:  ctxinfo.ErrorMessage,
+						Evidence: "API description " + use.API.Signature(),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func normalizeMessage(s string) string {
+	return strings.Join(textproc.Words(s), " ")
+}
+
+// descriptionMentions reports whether an API description contains the word
+// or a synonym of it.
+func descriptionMentions(description, word string, vec *wordvec.Model) bool {
+	for _, w := range textproc.Words(description) {
+		if w == word {
+			return true
+		}
+		if !textproc.IsStopword(w) && vec.WordSimilarity(w, word) >= vec.Threshold() {
+			return true
+		}
+	}
+	return false
+}
+
+// --- §4.1.4 Opening app ---------------------------------------------------------
+
+// openAppPhrases detect errors at launch.
+var openAppObjects = map[string]struct{}{"app": {}, "application": {}, "it": {}}
+
+// lifecycleMethods are recommended for launch errors (§4.1.4).
+var lifecycleMethods = []string{"onCreate", "onStart", "onResume"}
+
+// localizeOpeningApp recommends the starting activity's lifecycle methods
+// for launch-time errors.
+func (s *Solver) localizeOpeningApp(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+	if info.StartingActivity == "" {
+		return nil
+	}
+	match := false
+	trigger := ""
+	for _, vp := range ra.VerbPhrases {
+		verb := vp.Verb
+		if (verb == "open" || verb == "launch" || verb == "start") && len(vp.Object) > 0 {
+			if _, ok := openAppObjects[vp.ObjectHead()]; ok {
+				match, trigger = true, vp.String()
+				break
+			}
+		}
+	}
+	if !match {
+		// "crashes right after launch", "crashed every time i opened it".
+		cues := []string{
+			"open it", "opened it", "opening it", "open the app",
+			"opened the app", "launch", "startup", "start up",
+			"won't start", "wont start", "doesn't start", "does not start",
+			"won't open", "wont open", "doesn't open", "cannot even open",
+		}
+		for _, sent := range ra.Sentences {
+			lower := " " + strings.ToLower(sent) + " "
+			for _, cue := range cues {
+				if strings.Contains(lower, cue) {
+					match, trigger = true, strings.TrimSpace(sent)
+					break
+				}
+			}
+			if match {
+				break
+			}
+		}
+	}
+	if !match {
+		return nil
+	}
+	out := make([]Mapping, 0, len(lifecycleMethods))
+	for _, m := range lifecycleMethods {
+		out = append(out, Mapping{
+			Phrase:   trigger,
+			Class:    info.StartingActivity,
+			Method:   m,
+			Context:  ctxinfo.OpeningApp,
+			Evidence: "starting activity lifecycle",
+		})
+	}
+	return out
+}
+
+// --- §4.1.5 Account registration --------------------------------------------------
+
+// localizeRegistration recommends the registration/login activities for
+// account errors.
+func (s *Solver) localizeRegistration(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+	if !mentionsRegistration(ra) {
+		return nil
+	}
+	activities := gui.FindRegistrationActivities(info.GUIs)
+	out := make([]Mapping, 0, len(activities))
+	for _, a := range activities {
+		out = append(out, Mapping{
+			Phrase:   "account registration",
+			Class:    a,
+			Context:  ctxinfo.RegisteringAccount,
+			Evidence: "registration activity",
+		})
+	}
+	return out
+}
+
+func mentionsRegistration(ra *ReviewAnalysis) bool {
+	for _, vp := range ra.VerbPhrases {
+		switch vp.Verb {
+		case "register", "login", "signin":
+			return true
+		case "sign", "log":
+			return true
+		}
+		if vp.ObjectHead() == "account" && (vp.Verb == "create" || vp.Verb == "add") {
+			return true
+		}
+	}
+	for _, np := range ra.NounPhrases {
+		if np.Head == "registration" || np.Head == "login" || np.Head == "signin" {
+			return true
+		}
+	}
+	for _, sent := range ra.Sentences {
+		lower := strings.ToLower(sent)
+		if strings.Contains(lower, "login") || strings.Contains(lower, "log in") ||
+			strings.Contains(lower, "sign in") || strings.Contains(lower, "register") {
+			return true
+		}
+	}
+	return false
+}
+
+// --- §4.1.6 App updating ---------------------------------------------------------
+
+// updateCues detect update-related error reviews.
+var updateCues = []string{
+	"recent update", "latest update", "new update", "last update",
+	"after updating", "after the update", "since the update", "latest upgrade",
+	"update app", "updated the app", "started crashing after",
+}
+
+// localizeUpdate maps update-related reviews: when other localizers already
+// produced mappings those stand (the paper checks the other phrases first);
+// otherwise it recommends the classes changed between the two latest
+// versions.
+func (s *Solver) localizeUpdate(ra *ReviewAnalysis, existing []Mapping, previous, current *apk.Release) []Mapping {
+	if previous == nil || current == nil {
+		return nil
+	}
+	mentioned := false
+	for _, sent := range ra.Sentences {
+		lower := strings.ToLower(sent)
+		for _, cue := range updateCues {
+			if strings.Contains(lower, cue) {
+				mentioned = true
+				break
+			}
+		}
+	}
+	if !mentioned || len(existing) > 0 {
+		return nil
+	}
+	var out []Mapping
+	for _, cls := range apk.DiffClasses(previous, current) {
+		out = append(out, Mapping{
+			Phrase:   "app update",
+			Class:    cls,
+			Context:  ctxinfo.UpdatingApp,
+			Evidence: "changed between " + previous.Version + " and " + current.Version,
+		})
+	}
+	return out
+}
+
+// --- §4.2.1 API / URI / intent (Algorithm 1) --------------------------------------
+
+// collectionVerbs are the information access verbs of §4.2.1 whose objects
+// are matched against permission-protected data.
+var collectionVerbs = map[string]struct{}{
+	"gather": {}, "collect": {}, "read": {}, "access": {}, "use": {},
+	"get": {}, "fetch": {}, "find": {}, "query": {},
+}
+
+// localizeAPIURIIntent implements Algorithm 1: verb phrases against API
+// phrases, verb-phrase objects against URI nouns and intent nouns.
+func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+	var out []Mapping
+	for _, vp := range ra.VerbPhrases {
+		words := vp.Words()
+		v := s.vec.PhraseVector(words)
+
+		// APIs (Algorithm 1 lines 3–10): the comparison runs over the whole
+		// documented catalog — the dominant Table 15 cost — and a match is
+		// reported only when the app actually invokes the API.
+		for _, entry := range s.catalogVecs() {
+			matched := false
+			for _, pv := range entry.vecs {
+				if wordvec.Cosine(v, pv) >= s.vec.Threshold() {
+					matched = true
+					break
+				}
+			}
+			// Permission-protected personal data: collection verb + object
+			// similar to the permission nouns.
+			if !matched && entry.api.Permission != "" {
+				if _, isCollect := collectionVerbs[vp.Verb]; isCollect && len(vp.Object) > 0 {
+					nouns := permissionNouns(s, entry.api.Permission)
+					if len(nouns) > 0 &&
+						s.vec.Similarity(vp.Object, nouns) >= s.vec.Threshold() {
+						matched = true
+					}
+				}
+			}
+			if !matched {
+				continue
+			}
+			for _, cls := range info.APIClasses(entry.api.Class, entry.api.Method) {
+				out = append(out, Mapping{
+					Phrase:   vp.String(),
+					Class:    cls,
+					Context:  ctxinfo.APIURIIntent,
+					Evidence: "API " + entry.api.Signature(),
+				})
+			}
+		}
+
+		if len(vp.Object) == 0 {
+			continue
+		}
+		objVec := s.vec.PhraseVector(vp.Object)
+
+		// URIs (lines 11–18): object vs permission nouns of the URI.
+		for _, use := range info.URIs {
+			if len(use.Nouns) == 0 {
+				continue
+			}
+			if wordvec.Cosine(objVec, s.vec.PhraseVector(use.Nouns)) < s.vec.Threshold() {
+				continue
+			}
+			for _, cls := range use.Classes {
+				out = append(out, Mapping{
+					Phrase:   vp.String(),
+					Class:    cls,
+					Context:  ctxinfo.APIURIIntent,
+					Evidence: "URI " + use.URI.URI,
+				})
+			}
+		}
+
+		// Intents (lines 19–26): object vs common-intent nouns.
+		for _, use := range info.Intents {
+			matched := false
+			for _, noun := range use.Nouns {
+				if s.vec.Similarity(vp.Object, []string{noun}) >= s.vec.Threshold() {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				continue
+			}
+			for _, cls := range use.Classes {
+				out = append(out, Mapping{
+					Phrase:   vp.String(),
+					Class:    cls,
+					Context:  ctxinfo.APIURIIntent,
+					Evidence: "intent " + use.Action,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// --- §4.2.2 General task (Algorithm 2) ---------------------------------------------
+
+// localizeGeneralTask looks the verb phrase up in the Q&A index, takes the
+// top-k framework APIs, and recommends the classes calling them.
+func (s *Solver) localizeGeneralTask(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+	if s.qaIndex == nil {
+		return nil
+	}
+	var out []Mapping
+	query := func(phraseText string, words []string) {
+		for _, ref := range s.qaIndex.TopAPIs(words, 5) {
+			for _, cls := range info.Graph.ClassesCalling(ref.Class, ref.Method) {
+				out = append(out, Mapping{
+					Phrase:   phraseText,
+					Class:    cls,
+					Context:  ctxinfo.GeneralTask,
+					Evidence: "Q&A task API " + ref.Key(),
+				})
+			}
+		}
+	}
+	for _, vp := range ra.VerbPhrases {
+		query(vp.String(), vp.Words())
+	}
+	// Error-type noun phrases are also searched as-is ("404 error" is a
+	// Stack Overflow query in §2.3 Example 6).
+	for _, np := range ra.NounPhrases {
+		if mods := phrase.ErrorModifier(np); len(mods) > 0 {
+			query(np.String(), append(append([]string(nil), mods...), "error"))
+		}
+	}
+	return out
+}
+
+// --- §4.2.3 Exception ---------------------------------------------------------------
+
+// localizeException maps "<type> exception" noun phrases to the classes
+// calling framework APIs that throw matching exceptions, and to developer
+// methods that catch them.
+func (s *Solver) localizeException(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+	var out []Mapping
+	for _, np := range ra.NounPhrases {
+		words := phrase.ExceptionType(np)
+		if len(words) == 0 {
+			continue
+		}
+		// Framework APIs documented to throw a matching exception type.
+		for _, use := range info.APIs {
+			for _, ex := range use.API.Exceptions {
+				if !exceptionMatches(ex, words) {
+					continue
+				}
+				for _, cls := range use.Classes {
+					out = append(out, Mapping{
+						Phrase:   np.String(),
+						Class:    cls,
+						Context:  ctxinfo.Exception,
+						Evidence: "API " + use.API.Signature() + " throws " + ex,
+					})
+				}
+			}
+		}
+		// Developer methods that throw or catch a matching type (§4.2.3:
+		// "we check the statements contained in each method to determine
+		// the types of exceptions it can catch"), plus the classes calling
+		// those methods ("we output the classes that call these framework
+		// APIs or the methods defined by developers").
+		for _, site := range info.Exceptions {
+			if !exceptionMatches(site.Exception, words) {
+				continue
+			}
+			out = append(out, Mapping{
+				Phrase:   np.String(),
+				Class:    site.Site.Class(),
+				Method:   site.Site.Method.Name,
+				Context:  ctxinfo.Exception,
+				Evidence: "handles " + site.Exception,
+			})
+			for _, caller := range info.Graph.Callers(site.Site.Method.QualifiedName()) {
+				cls, method := splitQualified(caller)
+				out = append(out, Mapping{
+					Phrase:   np.String(),
+					Class:    cls,
+					Method:   method,
+					Context:  ctxinfo.Exception,
+					Evidence: "calls " + site.Site.Method.Name + " which handles " + site.Exception,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// splitQualified splits "pkg.Class.method" into class and method parts.
+func splitQualified(qualified string) (class, method string) {
+	if i := strings.LastIndexByte(qualified, '.'); i >= 0 {
+		return qualified[:i], qualified[i+1:]
+	}
+	return qualified, ""
+}
+
+// exceptionMatches reports whether an exception type name ("SocketException")
+// matches the review's type words (["socket"]).
+func exceptionMatches(exception string, words []string) bool {
+	typeWords := textproc.SplitIdentifier(exception)
+	set := make(map[string]struct{}, len(typeWords))
+	for _, w := range typeWords {
+		if w != "exception" {
+			set[w] = struct{}{}
+		}
+	}
+	for _, w := range words {
+		if _, ok := set[w]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"reviewsolver/internal/apk"
+)
+
+// ReviewInput is one review to localize in a batch.
+type ReviewInput struct {
+	// Text is the raw review.
+	Text string
+	// PublishedAt is the review's publication time.
+	PublishedAt time.Time
+}
+
+// Pool localizes review batches concurrently. A Solver is not safe for
+// concurrent use (its embedding and static-analysis caches are plain maps),
+// so the pool owns one Solver per worker; results are returned in input
+// order regardless of completion order.
+type Pool struct {
+	solvers []*Solver
+}
+
+// NewPool builds a pool of n workers, each with a Solver constructed from
+// the same options. n < 1 is treated as 1.
+func NewPool(n int, opts ...Option) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{solvers: make([]*Solver, n)}
+	for i := range p.solvers {
+		p.solvers[i] = New(opts...)
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.solvers) }
+
+// Localize runs the full pipeline over the batch and returns one Result per
+// input, in input order. All workers exit before Localize returns.
+func (p *Pool) Localize(app *apk.App, reviews []ReviewInput) []*Result {
+	results := make([]*Result, len(reviews))
+	if len(reviews) == 0 {
+		return results
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < len(p.solvers); w++ {
+		solver := p.solvers[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = solver.LocalizeReview(app, reviews[i].Text, reviews[i].PublishedAt)
+			}
+		}()
+	}
+	for i := range reviews {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

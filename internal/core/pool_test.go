@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"reviewsolver/internal/synth"
+)
+
+func poolInputs(n int) ([]*synth.AppData, []ReviewInput) {
+	data := synth.GenerateSample(21)
+	inputs := make([]ReviewInput, 0, n)
+	for i, rv := range data.Reviews {
+		if i >= n {
+			break
+		}
+		inputs = append(inputs, ReviewInput{Text: rv.Text, PublishedAt: rv.PublishedAt})
+	}
+	return []*synth.AppData{data}, inputs
+}
+
+func TestPoolMatchesSequential(t *testing.T) {
+	apps, inputs := poolInputs(60)
+	app := apps[0].App
+
+	seq := New()
+	want := make([][]string, len(inputs))
+	for i, in := range inputs {
+		want[i] = seq.LocalizeReview(app, in.Text, in.PublishedAt).RankedClassNames()
+	}
+
+	pool := NewPool(4)
+	got := pool.Localize(app, inputs)
+	if len(got) != len(inputs) {
+		t.Fatalf("results = %d, want %d", len(got), len(inputs))
+	}
+	for i, res := range got {
+		if res == nil {
+			t.Fatalf("nil result at %d", i)
+		}
+		names := res.RankedClassNames()
+		if len(names) != len(want[i]) {
+			t.Fatalf("input %d: pool %v vs sequential %v", i, names, want[i])
+		}
+		for k := range names {
+			if names[k] != want[i][k] {
+				t.Fatalf("input %d rank %d: pool %q vs sequential %q", i, k, names[k], want[i][k])
+			}
+		}
+	}
+}
+
+func TestPoolEdgeCases(t *testing.T) {
+	apps, _ := poolInputs(0)
+	pool := NewPool(0) // clamps to 1
+	if pool.Size() != 1 {
+		t.Errorf("Size = %d, want 1", pool.Size())
+	}
+	if got := pool.Localize(apps[0].App, nil); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+}
+
+func TestPoolMoreWorkersThanJobs(t *testing.T) {
+	apps, inputs := poolInputs(3)
+	pool := NewPool(16)
+	got := pool.Localize(apps[0].App, inputs)
+	for i, res := range got {
+		if res == nil {
+			t.Fatalf("nil result at %d", i)
+		}
+	}
+}

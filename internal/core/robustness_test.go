@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/synth"
+)
+
+// TestSolverNeverPanicsOnArbitraryText feeds fuzz-ish review text through
+// the full pipeline: the solver must never panic and must always return a
+// well-formed result.
+func TestSolverNeverPanicsOnArbitraryText(t *testing.T) {
+	s := New()
+	app := paperApp()
+	f := func(text string) bool {
+		res := s.LocalizeReview(app, text, reviewTime())
+		if res == nil {
+			return false
+		}
+		if len(res.Ranked) > TopN {
+			return false
+		}
+		for _, m := range res.Mappings {
+			if m.Class == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolverOnAdversarialReviews exercises the pipeline with handpicked
+// pathological inputs.
+func TestSolverOnAdversarialReviews(t *testing.T) {
+	s := New()
+	app := paperApp()
+	inputs := []string{
+		"",
+		" ",
+		"!!!???...",
+		"\"\"\"\"\"\"\"",
+		"a",
+		"𝕬𝖕𝖕 𝖈𝖗𝖆𝖘𝖍𝖊𝖘 😀😀😀",
+		"crash crash crash crash crash crash crash crash crash crash",
+		"\"unterminated quote",
+		"the the the the the",
+		"BUG BUG BUG!!!! FIX NOW",
+	}
+	for _, in := range inputs {
+		res := s.LocalizeReview(app, in, reviewTime())
+		if res == nil {
+			t.Fatalf("nil result for %q", in)
+		}
+	}
+}
+
+// TestSolverEmptyApp checks degenerate app shapes.
+func TestSolverEmptyApp(t *testing.T) {
+	s := New()
+
+	empty := &apk.App{Package: "com.empty", Name: "Empty"}
+	res := s.LocalizeReview(empty, "it crashes", reviewTime())
+	if res.Localized() {
+		t.Error("app without releases produced mappings")
+	}
+
+	// A release with no classes, no layouts.
+	b := apk.NewBuilder("com.bare", "Bare")
+	b.Release("1.0", 1, time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC))
+	bare := b.Build()
+	res = s.LocalizeReview(bare, "cannot send sms, socket exception, \"error text\"", reviewTime())
+	if res.Localized() {
+		t.Errorf("bare app produced mappings: %+v", res.Mappings)
+	}
+}
+
+// TestSolverDeterministicAcrossRuns localizes the same corpus twice with
+// fresh solvers and requires identical outputs.
+func TestSolverDeterministicAcrossRuns(t *testing.T) {
+	data := synth.GenerateSample(11)
+	run := func() []string {
+		s := New()
+		var out []string
+		for i, rv := range data.Reviews {
+			if i >= 40 {
+				break
+			}
+			res := s.LocalizeReview(data.App, rv.Text, rv.PublishedAt)
+			out = append(out, res.RankedClassNames()...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output %d differs: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMappingsReferenceExistingClasses: every mapping's class must exist in
+// the release the review was matched against.
+func TestMappingsReferenceExistingClasses(t *testing.T) {
+	s := New()
+	data := synth.GenerateSample(5)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		rv := data.Reviews[rng.Intn(len(data.Reviews))]
+		res := s.LocalizeReview(data.App, rv.Text, rv.PublishedAt)
+		if res.Release == nil {
+			continue
+		}
+		for _, m := range res.Mappings {
+			if _, ok := res.Release.FindClass(m.Class); !ok {
+				t.Errorf("mapping to non-existent class %q (context %s, review %q)",
+					m.Class, m.Context, rv.Text)
+			}
+		}
+	}
+}
+
+// TestRankImportanceMatchesMappings: a class's importance equals its number
+// of distinct mapped phrases.
+func TestRankImportanceMatchesMappings(t *testing.T) {
+	s := New()
+	app := paperApp()
+	res := s.LocalizeReview(app,
+		"i cannot send sms and the app crashed when i tried to find contact",
+		reviewTime())
+	phrasesByClass := make(map[string]map[string]struct{})
+	for _, m := range res.Mappings {
+		set, ok := phrasesByClass[m.Class]
+		if !ok {
+			set = make(map[string]struct{})
+			phrasesByClass[m.Class] = set
+		}
+		set[m.Phrase] = struct{}{}
+	}
+	for _, rc := range res.Ranked {
+		if rc.Importance != len(phrasesByClass[rc.Class]) {
+			t.Errorf("class %s importance %d != distinct phrases %d",
+				rc.Class, rc.Importance, len(phrasesByClass[rc.Class]))
+		}
+	}
+}
+
+// TestReviewBeforeFirstRelease: the solver must fall back to the earliest
+// release rather than fail.
+func TestReviewBeforeFirstRelease(t *testing.T) {
+	s := New()
+	app := paperApp()
+	early := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	res := s.LocalizeReview(app, "i cannot send sms", early)
+	if res.Release == nil {
+		t.Fatal("no release selected for pre-release review")
+	}
+	if res.Release != app.Releases[0] {
+		t.Error("expected earliest release fallback")
+	}
+}

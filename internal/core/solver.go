@@ -1,0 +1,212 @@
+package core
+
+import (
+	"time"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/code2vec"
+	"reviewsolver/internal/phrase"
+	"reviewsolver/internal/pos"
+	"reviewsolver/internal/qa"
+	"reviewsolver/internal/sdk"
+	"reviewsolver/internal/sentiment"
+	"reviewsolver/internal/textclass"
+	"reviewsolver/internal/textproc"
+	"reviewsolver/internal/wordvec"
+)
+
+// TopN is the number of ranked classes recommended to developers (§4.3).
+const TopN = 15
+
+// Solver is ReviewSolver: it identifies function-error reviews and maps
+// them to the problematic classes of the app.
+type Solver struct {
+	catalog    *sdk.Catalog
+	vec        *wordvec.Model
+	tagger     *pos.Tagger
+	extractor  *phrase.Extractor
+	normalizer *textproc.Normalizer
+	sentiment  sentiment.Analyzer
+	qaIndex    *qa.Index
+	summarizer *code2vec.Model
+	classifier textclass.Classifier
+	vectorizer *textclass.Vectorizer
+
+	// summarizeAll adds Code2vec phrases for every method, not only the
+	// obfuscated ones.
+	summarizeAll bool
+
+	// staticCache memoizes the §3.3 extraction per release pointer.
+	staticCache map[*apk.Release]*StaticInfo
+
+	// catalogVecCache holds the describing-phrase embeddings of the whole
+	// framework catalog (Algorithm 1 compares each review phrase against
+	// every documented API, not only the ones the app calls).
+	catalogVecCache []catalogAPI
+}
+
+// catalogAPI pairs a framework API with its precomputed phrase embeddings.
+type catalogAPI struct {
+	api  sdk.API
+	vecs []wordvec.Vector
+}
+
+// catalogVecs lazily builds the full-catalog phrase-vector table.
+func (s *Solver) catalogVecs() []catalogAPI {
+	if s.catalogVecCache != nil {
+		return s.catalogVecCache
+	}
+	apis := s.catalog.APIs()
+	out := make([]catalogAPI, 0, len(apis))
+	for _, api := range apis {
+		entry := catalogAPI{api: api}
+		for _, phrase := range apiPhrases(api) {
+			entry.vecs = append(entry.vecs, s.vec.PhraseVector(phrase))
+		}
+		out = append(out, entry)
+	}
+	s.catalogVecCache = out
+	return out
+}
+
+// Option configures a Solver.
+type Option func(*Solver)
+
+// WithClassifier installs a trained function-error review classifier.
+// Without one, every review is treated as a function-error review.
+func WithClassifier(v *textclass.Vectorizer, c textclass.Classifier) Option {
+	return func(s *Solver) {
+		s.vectorizer, s.classifier = v, c
+	}
+}
+
+// WithSummarizer installs a trained Code2vec model for method
+// summarization (§3.3.2).
+func WithSummarizer(m *code2vec.Model) Option {
+	return func(s *Solver) { s.summarizer = m }
+}
+
+// WithSummarizeAll generates Code2vec phrases for every method, matching
+// the paper's configuration where summaries complement raw names (§4.1.1).
+func WithSummarizeAll() Option {
+	return func(s *Solver) { s.summarizeAll = true }
+}
+
+// WithWordModel overrides the word-embedding model (ablations use it to
+// compare semantic matching against near-exact thresholds).
+func WithWordModel(m *wordvec.Model) Option {
+	return func(s *Solver) {
+		s.vec = m
+		s.catalogVecCache = nil
+	}
+}
+
+// WithQAIndex installs the general-task Q&A index (§4.2.2).
+func WithQAIndex(idx *qa.Index) Option {
+	return func(s *Solver) { s.qaIndex = idx }
+}
+
+// WithSentimentAnalyzer overrides the sentence sentiment analyzer
+// (SentiStrength by default, per Table 4).
+func WithSentimentAnalyzer(a sentiment.Analyzer) Option {
+	return func(s *Solver) { s.sentiment = a }
+}
+
+// New constructs a Solver. The default configuration has no classifier
+// (callers decide which reviews to localize), uses SentiStrength-style
+// sentiment, and builds the Q&A index over the generated corpus.
+func New(opts ...Option) *Solver {
+	catalog := sdk.NewCatalog()
+	s := &Solver{
+		catalog:     catalog,
+		vec:         wordvec.NewModel(),
+		tagger:      pos.NewTagger(),
+		extractor:   phrase.NewExtractor(),
+		normalizer:  textproc.NewNormalizer(),
+		sentiment:   sentiment.SentiStrength{},
+		qaIndex:     qa.NewIndex(catalog, qa.GenerateCorpus(catalog)),
+		staticCache: make(map[*apk.Release]*StaticInfo),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Catalog exposes the SDK catalog in use.
+func (s *Solver) Catalog() *sdk.Catalog { return s.catalog }
+
+// WordModel exposes the embedding model in use.
+func (s *Solver) WordModel() *wordvec.Model { return s.vec }
+
+// IsErrorReview runs the trained classifier on a review (§3.2.2). With no
+// classifier installed it returns true.
+func (s *Solver) IsErrorReview(text string) bool {
+	if s.classifier == nil || s.vectorizer == nil {
+		return true
+	}
+	return s.classifier.Predict(s.vectorizer.Transform(text))
+}
+
+// StaticFor returns the (cached) §3.3 extraction for a release.
+func (s *Solver) StaticFor(r *apk.Release) *StaticInfo {
+	if info, ok := s.staticCache[r]; ok {
+		return info
+	}
+	info := s.ExtractStatic(r)
+	s.staticCache[r] = info
+	return info
+}
+
+// Result is the outcome of localizing one review.
+type Result struct {
+	// IsError reports the classifier's decision.
+	IsError bool
+	// Analysis is the review-analysis output (§3.2).
+	Analysis *ReviewAnalysis
+	// Mappings are all (phrase → class) correlations found (§4.1–4.2).
+	Mappings []Mapping
+	// Ranked are the recommended classes, most important first (§4.3),
+	// capped at TopN.
+	Ranked []RankedClass
+	// Release is the APK version the review was matched against.
+	Release *apk.Release
+}
+
+// Localized reports whether the review was mapped to at least one class.
+func (r *Result) Localized() bool { return len(r.Mappings) > 0 }
+
+// RankedClassNames lists the recommended class names in rank order.
+func (r *Result) RankedClassNames() []string {
+	out := make([]string, len(r.Ranked))
+	for i, rc := range r.Ranked {
+		out[i] = rc.Class
+	}
+	return out
+}
+
+// LocalizeReview runs the full ReviewSolver pipeline on one review: pick
+// the APK version released before the review (§3.3.1), identify whether it
+// is a function-error review (§3.2.2), analyze its sentences (§3.2.3–4),
+// run every applicable localizer (§4.1–4.2), and rank the classes (§4.3).
+func (s *Solver) LocalizeReview(app *apk.App, text string, publishedAt time.Time) *Result {
+	res := &Result{IsError: s.IsErrorReview(text)}
+	if !res.IsError {
+		return res
+	}
+	current, previous, ok := app.ReleaseBefore(publishedAt)
+	if !ok {
+		// No release predates the review; fall back to the earliest.
+		if len(app.Releases) == 0 {
+			return res
+		}
+		current, previous = app.Releases[0], nil
+	}
+	res.Release = current
+	info := s.StaticFor(current)
+
+	res.Analysis = s.AnalyzeReview(text)
+	res.Mappings = s.Localize(res.Analysis, info, previous, current)
+	res.Ranked = RankClasses(res.Mappings, info.Graph, TopN)
+	return res
+}

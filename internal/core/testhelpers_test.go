@@ -1,0 +1,20 @@
+package core
+
+import (
+	"testing"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/code2vec"
+)
+
+// newTrainedSummarizer trains a Code2vec model on a release and fails the
+// test when the release carries no usable names.
+func newTrainedSummarizer(t *testing.T, r *apk.Release) *code2vec.Model {
+	t.Helper()
+	m := code2vec.NewModel()
+	m.TrainRelease(r)
+	if m.VocabSize() == 0 {
+		t.Fatal("summarizer training produced empty vocabulary")
+	}
+	return m
+}

@@ -1,0 +1,85 @@
+// Package ctxinfo defines the context-information taxonomy of Table 1: the
+// ten kinds of context users include when describing function errors. Both
+// the synthetic review generator (which plants context) and the localizer
+// (which detects it) share this vocabulary.
+package ctxinfo
+
+// Type is a context-information category from Table 1.
+type Type int
+
+// The ten context types of Table 1.
+const (
+	AppSpecificTask Type = iota + 1
+	UpdatingApp
+	GUI
+	ErrorMessage
+	OpeningApp
+	RegisteringAccount
+	APIURIIntent
+	GeneralTask
+	Exception
+	Other
+)
+
+// String returns the Table 1 row label.
+func (t Type) String() string {
+	switch t {
+	case AppSpecificTask:
+		return "App Specific Task"
+	case UpdatingApp:
+		return "Updating App"
+	case GUI:
+		return "GUI"
+	case ErrorMessage:
+		return "Error Message"
+	case OpeningApp:
+		return "Opening App"
+	case RegisteringAccount:
+		return "Registering Account"
+	case APIURIIntent:
+		return "API/URI/intent"
+	case GeneralTask:
+		return "General Task"
+	case Exception:
+		return "Exception"
+	case Other:
+		return "Other"
+	default:
+		return "Unknown"
+	}
+}
+
+// All lists the ten types in Table 1 order.
+func All() []Type {
+	return []Type{AppSpecificTask, UpdatingApp, GUI, ErrorMessage, OpeningApp,
+		RegisteringAccount, APIURIIntent, GeneralTask, Exception, Other}
+}
+
+// Table1Percent returns the Table 1 share of function-error reviews that
+// carry this context type, used by the review generator to shape its mix.
+func (t Type) Table1Percent() float64 {
+	switch t {
+	case AppSpecificTask:
+		return 30.4
+	case UpdatingApp:
+		return 8.8
+	case GUI:
+		return 6.0
+	case ErrorMessage:
+		return 10.8
+	case OpeningApp:
+		return 3.2
+	case RegisteringAccount:
+		return 1.6
+	case APIURIIntent:
+		return 9.6
+	case GeneralTask:
+		return 5.6
+	case Exception:
+		return 0.8
+	case Other:
+		return 23.2
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationsDirections(t *testing.T) {
+	tab := sharedRunner.Ablations()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("ablation rows = %d, want 4", len(tab.Rows))
+	}
+	get := func(row []string, col int) int {
+		n, err := strconv.Atoi(row[col])
+		if err != nil {
+			t.Fatalf("bad cell %q", row[col])
+		}
+		return n
+	}
+	for _, row := range tab.Rows {
+		with, without := get(row, 2), get(row, 3)
+		switch row[0] {
+		case "negation-aware features (§3.2.2)",
+			"sentiment clause filtering (§3.2.3)":
+			// Fewer false positives / false mappings is better.
+			if with >= without {
+				t.Errorf("%s: with=%d should beat without=%d", row[0], with, without)
+			}
+		default:
+			// More resolved reviews is better.
+			if with <= without {
+				t.Errorf("%s: with=%d should beat without=%d", row[0], with, without)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package experiments regenerates every table of the paper's evaluation
+// (§5, Tables 1–16) over the synthetic evaluation universe. Each TableNN
+// method returns a formatted Table whose rows mirror the paper's layout;
+// EXPERIMENTS.md records the paper-reported values next to these measured
+// ones.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated experiment table.
+type Table struct {
+	// ID is the paper table number ("Table 8").
+	ID string
+	// Title is the caption.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data rows.
+	Rows [][]string
+	// Notes carry free-form remarks (e.g. shape checks).
+	Notes []string
+}
+
+// AddRow appends a row of stringable cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func pct(num, den int) string {
+	if den == 0 {
+		return "0.0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"reviewsolver/internal/baseline"
+	"reviewsolver/internal/core"
+	"reviewsolver/internal/ctxinfo"
+	"reviewsolver/internal/synth"
+	"reviewsolver/internal/textclass"
+)
+
+// Runner holds the lazily-built shared state of all experiments:
+// generated app corpora, the trained solver, and the per-app evaluation
+// results.
+type Runner struct {
+	// Seed drives every generator; the default experiments use 1.
+	Seed int64
+
+	apps18 []*synth.AppData
+	apps10 []*synth.AppData
+	solver *core.Solver
+
+	eval18 []*appEval
+	eval10 []*appEval
+}
+
+// NewRunner creates a runner with the given seed.
+func NewRunner(seed int64) *Runner {
+	return &Runner{Seed: seed}
+}
+
+// Apps18 returns (building on first use) the Table 6 corpus.
+func (r *Runner) Apps18() []*synth.AppData {
+	if r.apps18 == nil {
+		r.apps18 = synth.GenerateTable6(r.Seed)
+	}
+	return r.apps18
+}
+
+// Apps10 returns the Table 14 corpus.
+func (r *Runner) Apps10() []*synth.AppData {
+	if r.apps10 == nil {
+		r.apps10 = synth.GenerateTable14(r.Seed)
+	}
+	return r.apps10
+}
+
+// Solver returns the shared trained ReviewSolver.
+func (r *Runner) Solver() *core.Solver {
+	if r.solver == nil {
+		vec, clf := textclass.TrainOn(synth.TrainingCorpus(r.Seed),
+			func() textclass.Classifier { return textclass.NewBoostedTrees() })
+		r.solver = core.New(core.WithClassifier(vec, clf))
+	}
+	return r.solver
+}
+
+// reviewEval is one review's evaluation record.
+type reviewEval struct {
+	review synth.Review
+	// detected is the RS classifier decision.
+	detected bool
+	// rs holds the ReviewSolver result (nil when not detected).
+	rs *core.Result
+	// rsClasses are RS's recommended classes (top-N).
+	rsClasses map[string]struct{}
+	// caClasses / w2cClasses are the baselines' recommendations.
+	caClasses  map[string]struct{}
+	w2cClasses map[string]struct{}
+}
+
+// appEval is one app's full evaluation.
+type appEval struct {
+	data    *synth.AppData
+	reviews []*reviewEval
+	// detectedErr counts classifier-detected error reviews.
+	detectedErr int
+}
+
+// evaluate runs RS + baselines over one app corpus.
+func (r *Runner) evaluate(data *synth.AppData) *appEval {
+	s := r.Solver()
+	ev := &appEval{data: data}
+
+	// Classifier pass.
+	var detectedTexts []string
+	var detectedIdx []int
+	for i, rev := range data.Reviews {
+		re := &reviewEval{review: rev, detected: s.IsErrorReview(rev.Text)}
+		ev.reviews = append(ev.reviews, re)
+		if re.detected {
+			ev.detectedErr++
+			detectedTexts = append(detectedTexts, rev.Text)
+			detectedIdx = append(detectedIdx, i)
+		}
+	}
+
+	// ReviewSolver pass over detected reviews.
+	for _, i := range detectedIdx {
+		re := ev.reviews[i]
+		res := s.LocalizeReview(data.App, re.review.Text, re.review.PublishedAt)
+		re.rs = res
+		re.rsClasses = make(map[string]struct{}, len(res.Ranked))
+		for _, rc := range res.Ranked {
+			re.rsClasses[rc.Class] = struct{}{}
+		}
+	}
+
+	// Baselines run on the same detected reviews against the latest
+	// release (both operate on a single source snapshot).
+	release := data.App.Latest()
+	ca := baseline.NewChangeAdvisor()
+	caOut := ca.MapReviews(detectedTexts, release)
+	for k, i := range detectedIdx {
+		ev.reviews[i].caClasses = toSet(caOut[k])
+	}
+	if len(data.BugReports) > 0 {
+		var bugs []baseline.BugText
+		for _, br := range data.BugReports {
+			bugs = append(bugs, baseline.BugText{Title: br.Title, Body: br.Body})
+		}
+		w2c := baseline.NewWhere2Change()
+		w2cOut := w2c.MapReviews(detectedTexts, bugs, release)
+		for k, i := range detectedIdx {
+			ev.reviews[i].w2cClasses = toSet(w2cOut[k])
+		}
+	}
+	return ev
+}
+
+func toSet(ss []string) map[string]struct{} {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make(map[string]struct{}, len(ss))
+	for _, s := range ss {
+		out[s] = struct{}{}
+	}
+	return out
+}
+
+// Eval18 returns (computing on first use) the Table 6 corpus evaluation.
+func (r *Runner) Eval18() []*appEval {
+	if r.eval18 == nil {
+		for _, data := range r.Apps18() {
+			r.eval18 = append(r.eval18, r.evaluate(data))
+		}
+	}
+	return r.eval18
+}
+
+// Eval10 returns the Table 14 corpus evaluation.
+func (r *Runner) Eval10() []*appEval {
+	if r.eval10 == nil {
+		for _, data := range r.Apps10() {
+			r.eval10 = append(r.eval10, r.evaluate(data))
+		}
+	}
+	return r.eval10
+}
+
+// gtPair is one ground-truth (review, class) mapping.
+type gtPair struct {
+	reviewIdx int
+	class     string
+}
+
+// groundTruthPairs enumerates the ground-truth mappings of an app under one
+// of the two ground-truth constructions.
+func groundTruthPairs(ev *appEval, useBugReports bool) []gtPair {
+	var out []gtPair
+	for i, re := range ev.reviews {
+		if !re.review.IsError || re.review.FaultID < 0 {
+			continue
+		}
+		fault, ok := ev.data.FaultByID(re.review.FaultID)
+		if !ok {
+			continue
+		}
+		if useBugReports {
+			for _, br := range ev.data.BugReports {
+				if br.FaultID != fault.ID {
+					continue
+				}
+				for _, cls := range br.FixedClasses {
+					out = append(out, gtPair{reviewIdx: i, class: cls})
+				}
+			}
+		} else {
+			for _, note := range ev.data.ReleaseNotes {
+				fixed := false
+				for _, id := range note.FaultIDs {
+					if id == fault.ID {
+						fixed = true
+					}
+				}
+				if !fixed {
+					continue
+				}
+				for _, cls := range note.ChangedClasses {
+					out = append(out, gtPair{reviewIdx: i, class: cls})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pairStats counts how many ground-truth pairs each system recovers.
+type pairStats struct {
+	total, rs, ca, w2c int
+	// overlap counters for Table 10.
+	rsAndCA, rsNotCA, caNotRS    int
+	rsAndW2C, rsNotW2C, w2cNotRS int
+	// errorReviews counts the manually analyzable error reviews.
+	errorReviews int
+}
+
+func collectPairStats(ev *appEval, useBugReports bool) pairStats {
+	var st pairStats
+	for _, re := range ev.reviews {
+		if re.review.IsError {
+			st.errorReviews++
+		}
+	}
+	for _, p := range groundTruthPairs(ev, useBugReports) {
+		st.total++
+		re := ev.reviews[p.reviewIdx]
+		_, inRS := re.rsClasses[p.class]
+		_, inCA := re.caClasses[p.class]
+		_, inW2C := re.w2cClasses[p.class]
+		if inRS {
+			st.rs++
+		}
+		if inCA {
+			st.ca++
+		}
+		if inW2C {
+			st.w2c++
+		}
+		switch {
+		case inRS && inCA:
+			st.rsAndCA++
+		case inRS && !inCA:
+			st.rsNotCA++
+		case !inRS && inCA:
+			st.caNotRS++
+		}
+		switch {
+		case inRS && inW2C:
+			st.rsAndW2C++
+		case inRS && !inW2C:
+			st.rsNotW2C++
+		case !inRS && inW2C:
+			st.w2cNotRS++
+		}
+	}
+	return st
+}
+
+// localizerTiming measures the average per-review wall time of one context
+// localizer over a review sample (Table 15).
+func (r *Runner) localizerTiming(ctx ctxinfo.Type, sample int) time.Duration {
+	s := r.Solver()
+	evs := r.Eval18()
+	var total time.Duration
+	n := 0
+	for _, ev := range evs {
+		release := ev.data.App.Latest()
+		info := s.StaticFor(release)
+		var previous = release
+		if len(ev.data.App.Releases) > 1 {
+			previous = ev.data.App.Releases[len(ev.data.App.Releases)-2]
+		}
+		for _, re := range ev.reviews {
+			if !re.detected || re.rs == nil || re.rs.Analysis == nil {
+				continue
+			}
+			start := time.Now()
+			s.LocalizeByContext(ctx, re.rs.Analysis, info, previous, release)
+			total += time.Since(start)
+			n++
+			if n >= sample {
+				break
+			}
+		}
+		if n >= sample {
+			break
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}
+
+// contextOf lists the distinct contexts of a result's mappings.
+func contextsOf(res *core.Result) []ctxinfo.Type {
+	if res == nil {
+		return nil
+	}
+	set := make(map[ctxinfo.Type]struct{})
+	for _, m := range res.Mappings {
+		set[m.Context] = struct{}{}
+	}
+	out := make([]ctxinfo.Type, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,561 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reviewsolver/internal/ctxinfo"
+	"reviewsolver/internal/ios"
+	"reviewsolver/internal/phrase"
+	"reviewsolver/internal/sentiment"
+	"reviewsolver/internal/synth"
+	"reviewsolver/internal/textclass"
+)
+
+// Table1 measures the context-information distribution of 250 sampled
+// function-error reviews.
+func (r *Runner) Table1() *Table {
+	t := &Table{ID: "Table 1", Title: "Context information in function error reviews",
+		Header: []string{"Context", "Count", "Percentage", "Paper"}}
+	sample := synth.ContextSample(r.Apps18(), 250, r.Seed+17)
+	counts := make(map[ctxinfo.Type]int)
+	for _, c := range sample {
+		counts[c]++
+	}
+	for _, c := range ctxinfo.All() {
+		t.AddRow(c.String(), itoa(counts[c]), pct(counts[c], len(sample)),
+			fmt.Sprintf("%.1f%%", c.Table1Percent()))
+	}
+	return t
+}
+
+// Table2 runs 10-fold cross-validation of the five classifiers on the
+// 700+700 training corpus.
+func (r *Runner) Table2() *Table {
+	t := &Table{ID: "Table 2", Title: "Classifier selection: 10-fold cross-validation",
+		Header: []string{"Classifier", "Precision", "Recall", "F1-Score"}}
+	docs := synth.TrainingCorpus(r.Seed)
+	factories := []textclass.Factory{
+		func() textclass.Classifier { return textclass.NewNaiveBayes() },
+		func() textclass.Classifier { return textclass.NewRandomForest() },
+		func() textclass.Classifier { return textclass.NewSVM() },
+		func() textclass.Classifier { return textclass.NewMaxEnt() },
+		func() textclass.Classifier { return textclass.NewBoostedTrees() },
+	}
+	bestF1, bestName := 0.0, ""
+	for _, f := range factories {
+		name := f().Name()
+		m := textclass.CrossValidate(10, docs, f, r.Seed)
+		t.AddRow(name, pct(m.TP, m.TP+m.FP), pct(m.TP, m.TP+m.FN),
+			fmt.Sprintf("%.1f%%", 100*m.F1))
+		if m.F1 > bestF1 {
+			bestF1, bestName = m.F1, name
+		}
+	}
+	t.Notes = append(t.Notes, "best classifier: "+bestName+
+		" (paper selects Boosted regression trees)")
+	return t
+}
+
+// Table3 reports the score distribution of the 900-review sample.
+func (r *Runner) Table3() *Table {
+	t := &Table{ID: "Table 3", Title: "Reviews and function-error reviews per score",
+		Header: []string{"Score", "#Review", "#Error Review"}}
+	sample := synth.ScoreSample(r.Seed)
+	total, errTotal := 0, 0
+	perScore := map[int]int{}
+	errPerScore := map[int]int{}
+	for _, rv := range sample {
+		perScore[rv.Score]++
+		total++
+		if rv.IsError {
+			errPerScore[rv.Score]++
+			errTotal++
+		}
+	}
+	for score := 1; score <= 5; score++ {
+		t.AddRow(itoa(score), itoa(perScore[score]), itoa(errPerScore[score]))
+	}
+	t.AddRow("Total", itoa(total), itoa(errTotal))
+	high := errPerScore[4] + errPerScore[5]
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"%s of error reviews have 4-5 stars (paper: 24.6%%) — score filtering would lose them",
+		pct(high, errTotal)))
+	return t
+}
+
+// Table4 compares the negative-review recall of the three sentiment tools.
+func (r *Runner) Table4() *Table {
+	t := &Table{ID: "Table 4", Title: "Negative reviews found by three sentiment analyzers",
+		Header: []string{"Score", "#Review", "#Neg Manual", "#Neg SentiStrength", "#Neg NLTK", "#Neg Stanford"}}
+	sample := synth.ScoreSample(r.Seed)
+	analyzers := []sentiment.Analyzer{sentiment.SentiStrength{}, sentiment.NLTK{}, sentiment.Stanford{}}
+	type row struct {
+		total, manual int
+		tool          [3]int
+	}
+	rows := map[int]*row{}
+	for s := 1; s <= 5; s++ {
+		rows[s] = &row{}
+	}
+	for _, rv := range sample {
+		rr := rows[rv.Score]
+		rr.total++
+		if rv.IsError {
+			rr.manual++
+		}
+		for i, a := range analyzers {
+			if sentiment.HasNegativeSentence(a, rv.Text) {
+				rr.tool[i]++
+			}
+		}
+	}
+	var tot row
+	for s := 1; s <= 5; s++ {
+		rr := rows[s]
+		t.AddRow(itoa(s), itoa(rr.total), itoa(rr.manual),
+			itoa(rr.tool[0]), itoa(rr.tool[1]), itoa(rr.tool[2]))
+		tot.total += rr.total
+		tot.manual += rr.manual
+		for i := range tot.tool {
+			tot.tool[i] += rr.tool[i]
+		}
+	}
+	t.AddRow("Total", itoa(tot.total), itoa(tot.manual),
+		itoa(tot.tool[0]), itoa(tot.tool[1]), itoa(tot.tool[2]))
+	t.Notes = append(t.Notes,
+		"shape check: SentiStrength must dominate NLTK and Stanford (paper: 207 vs 51 vs 56)")
+	return t
+}
+
+// Table5 extracts the NEON semantic patterns from 100 vague-error
+// sentences.
+func (r *Runner) Table5() *Table {
+	t := &Table{ID: "Table 5", Title: "Semantic patterns of vaguely described errors",
+		Header: []string{"Pattern", "Shape", "Matches/100", "Example"}}
+	rng := rand.New(rand.NewSource(r.Seed + 5))
+	subjects := []string{"sync", "login", "search", "upload", "backup", "export", "import", "refresh"}
+	verbs := []string{"register", "connect", "sync", "login", "post", "save"}
+	sentences := make([]string, 0, 100)
+	for i := 0; i < 100; i++ {
+		switch i % 4 {
+		case 0:
+			sentences = append(sentences, subjects[rng.Intn(len(subjects))]+" does not work")
+		case 1:
+			sentences = append(sentences, "i cannot "+verbs[rng.Intn(len(verbs))])
+		case 2:
+			sentences = append(sentences, subjects[rng.Intn(len(subjects))]+" always fails")
+		default:
+			sentences = append(sentences, subjects[rng.Intn(len(subjects))]+" button has stopped")
+		}
+	}
+	extractor := phrase.NewExtractor()
+	counts := map[phrase.Pattern]int{}
+	example := map[phrase.Pattern]string{}
+	for _, sent := range sentences {
+		for _, m := range phrase.MatchPatterns(extractor.Parse(sent)) {
+			counts[m.Pattern]++
+			if example[m.Pattern] == "" {
+				example[m.Pattern] = sent
+			}
+		}
+	}
+	shapes := map[phrase.Pattern]string{
+		phrase.P1: "[function] NEG work",
+		phrase.P2: "[subject] NEG [function]",
+		phrase.P3: "[function] fail",
+		phrase.P4: "[function] stopped",
+	}
+	for _, p := range []phrase.Pattern{phrase.P1, phrase.P2, phrase.P3, phrase.P4} {
+		t.AddRow(p.String(), shapes[p], itoa(counts[p]), example[p])
+	}
+	return t
+}
+
+// Table6 prints the app inventory.
+func (r *Runner) Table6() *Table {
+	t := &Table{ID: "Table 6", Title: "Evaluation apps (generated inventory)",
+		Header: []string{"APK Id", "Name", "#APK (paper)", "#APK (generated)", "#Reviews"}}
+	apps := r.Apps18()
+	for _, a := range apps {
+		t.AddRow(a.Info.Package, a.Info.Name, itoa(a.Info.PaperVersions),
+			itoa(len(a.App.Releases)), itoa(len(a.Reviews)))
+	}
+	return t
+}
+
+// Table7 evaluates the selected classifier on the Ciurumelea and Maalej
+// dataset reproductions.
+func (r *Runner) Table7() *Table {
+	t := &Table{ID: "Table 7", Title: "Classifying function error reviews on external datasets",
+		Header: []string{"Dataset", "Precision", "Recall", "F-1"}}
+	train := synth.TrainingCorpus(r.Seed)
+	vec, clf := textclass.TrainOn(train, func() textclass.Classifier { return textclass.NewBoostedTrees() })
+	for _, ds := range []struct {
+		name string
+		docs []textclass.Document
+	}{
+		{"Ciurumelea et al. (199 reviews, 87 errors)", synth.CiurumeleaDataset(r.Seed + 3)},
+		{"Maalej et al. (747 reviews, 369 errors)", synth.MaalejDataset(r.Seed + 4)},
+	} {
+		// Evaluate with the pre-trained model (no refitting per dataset).
+		var mm textclass.Metrics
+		for _, d := range ds.docs {
+			pred := clf.Predict(vec.Transform(d.Text))
+			switch {
+			case pred && d.Label:
+				mm.TP++
+			case pred && !d.Label:
+				mm.FP++
+			case !pred && d.Label:
+				mm.FN++
+			default:
+				mm.TN++
+			}
+		}
+		p := pct(mm.TP, mm.TP+mm.FP)
+		rec := pct(mm.TP, mm.TP+mm.FN)
+		f1 := 0.0
+		if mm.TP > 0 {
+			pr := float64(mm.TP) / float64(mm.TP+mm.FP)
+			rc := float64(mm.TP) / float64(mm.TP+mm.FN)
+			f1 = 2 * pr * rc / (pr + rc)
+		}
+		t.AddRow(ds.name, p, rec, fmt.Sprintf("%.1f%%", 100*f1))
+	}
+	t.Notes = append(t.Notes,
+		"paper: Ciurumelea 85.4%/87.4%, Maalej 88.3%/66.4% — Maalej recall drops on implicit error reviews")
+	return t
+}
+
+// Table8 compares RS/CA/W2C on the bug-report ground truth (8 apps).
+func (r *Runner) Table8() *Table {
+	t := &Table{ID: "Table 8", Title: "Mappings identified vs bug-report ground truth",
+		Header: []string{"APK Name", "#Error Reviews", "#Total Map", "#RS Map", "#CA Map", "#W2C Map"}}
+	var tot pairStats
+	for _, ev := range r.Eval18() {
+		if len(ev.data.BugReports) == 0 {
+			continue
+		}
+		st := collectPairStats(ev, true)
+		t.AddRow(ev.data.Info.Name, itoa(st.errorReviews), itoa(st.total),
+			itoa(st.rs), itoa(st.ca), itoa(st.w2c))
+		tot.errorReviews += st.errorReviews
+		tot.total += st.total
+		tot.rs += st.rs
+		tot.ca += st.ca
+		tot.w2c += st.w2c
+	}
+	t.AddRow("Total", itoa(tot.errorReviews), itoa(tot.total),
+		itoa(tot.rs), itoa(tot.ca), itoa(tot.w2c))
+	t.Notes = append(t.Notes,
+		"shape check: RS > W2C > CA (paper totals: 324 / 211 / 102 over 11450 GT pairs)")
+	return t
+}
+
+// Table9 compares the systems on the release-note ground truth (6 apps).
+func (r *Runner) Table9() *Table {
+	t := &Table{ID: "Table 9", Title: "Mappings identified vs release-note ground truth",
+		Header: []string{"APK Name", "#Error Reviews", "#Total Map", "#RS Map", "#CA Map", "#W2C Map"}}
+	var tot pairStats
+	for _, ev := range r.Eval18() {
+		if len(ev.data.ReleaseNotes) == 0 {
+			continue
+		}
+		st := collectPairStats(ev, false)
+		t.AddRow(ev.data.Info.Name, itoa(st.errorReviews), itoa(st.total),
+			itoa(st.rs), itoa(st.ca), itoa(st.w2c))
+		tot.errorReviews += st.errorReviews
+		tot.total += st.total
+		tot.rs += st.rs
+		tot.ca += st.ca
+		tot.w2c += st.w2c
+	}
+	t.AddRow("Total", itoa(tot.errorReviews), itoa(tot.total),
+		itoa(tot.rs), itoa(tot.ca), itoa(tot.w2c))
+	t.Notes = append(t.Notes,
+		"shape check: RS > W2C > CA (paper totals: 65 / 25 / 15 over 1339 GT pairs)")
+	return t
+}
+
+// Table10 reports the overlap of recovered ground-truth pairs.
+func (r *Runner) Table10() *Table {
+	t := &Table{ID: "Table 10", Title: "Distinct mappings found by RS, CA, W2C",
+		Header: []string{"Ground truth", "RS∩CA", "RS∩¬CA", "¬RS∩CA", "RS∩W2C", "RS∩¬W2C", "¬RS∩W2C"}}
+	for _, gt := range []struct {
+		name string
+		bug  bool
+	}{{"Bug Report", true}, {"Release Note", false}} {
+		var tot pairStats
+		for _, ev := range r.Eval18() {
+			if gt.bug && len(ev.data.BugReports) == 0 {
+				continue
+			}
+			if !gt.bug && len(ev.data.ReleaseNotes) == 0 {
+				continue
+			}
+			st := collectPairStats(ev, gt.bug)
+			tot.rsAndCA += st.rsAndCA
+			tot.rsNotCA += st.rsNotCA
+			tot.caNotRS += st.caNotRS
+			tot.rsAndW2C += st.rsAndW2C
+			tot.rsNotW2C += st.rsNotW2C
+			tot.w2cNotRS += st.w2cNotRS
+		}
+		t.AddRow(gt.name, itoa(tot.rsAndCA), itoa(tot.rsNotCA), itoa(tot.caNotRS),
+			itoa(tot.rsAndW2C), itoa(tot.rsNotW2C), itoa(tot.w2cNotRS))
+	}
+	t.Notes = append(t.Notes, "the baselines complement RS: ¬RS∩CA and ¬RS∩W2C are non-trivial in the paper")
+	return t
+}
+
+// Table11 counts the function-error reviews each system resolves to code.
+func (r *Runner) Table11() *Table {
+	t := &Table{ID: "Table 11", Title: "Function-error reviews resolved per app",
+		Header: []string{"#", "APK Name", "#Error Review", "#RS", "#CA", "#W2C"}}
+	var totErr, totRS, totCA, totW2C int
+	for i, ev := range r.Eval18() {
+		rs, ca, w2c := 0, 0, 0
+		for _, re := range ev.reviews {
+			if !re.detected {
+				continue
+			}
+			if re.rs != nil && re.rs.Localized() {
+				rs++
+			}
+			if len(re.caClasses) > 0 {
+				ca++
+			}
+			if len(re.w2cClasses) > 0 {
+				w2c++
+			}
+		}
+		w2cCell := itoa(w2c)
+		if len(ev.data.BugReports) == 0 {
+			w2cCell = "-"
+		}
+		t.AddRow(itoa(i+1), ev.data.Info.Name, itoa(ev.detectedErr),
+			itoa(rs), itoa(ca), w2cCell)
+		totErr += ev.detectedErr
+		totRS += rs
+		totCA += ca
+		totW2C += w2c
+	}
+	t.AddRow("", "Total", itoa(totErr), itoa(totRS), itoa(totCA), itoa(totW2C))
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"RS resolves %s of detected error reviews (paper: 57.9%%); CA %s (paper: 9.3%%)",
+		pct(totRS, totErr), pct(totCA, totErr)))
+	return t
+}
+
+// Table12 attributes resolved reviews to the context information that
+// localized them.
+func (r *Runner) Table12() *Table {
+	t := &Table{ID: "Table 12", Title: "Reviews mapped per context information type",
+		Header: []string{"Context", "#Function Error", "Percentage"}}
+	counts := make(map[ctxinfo.Type]int)
+	detected := 0
+	for _, ev := range r.Eval18() {
+		for _, re := range ev.reviews {
+			if !re.detected {
+				continue
+			}
+			detected++
+			for _, c := range contextsOf(re.rs) {
+				counts[c]++
+			}
+		}
+	}
+	type kv struct {
+		c ctxinfo.Type
+		n int
+	}
+	var rows []kv
+	for _, c := range ctxinfo.All() {
+		if c == ctxinfo.Other {
+			continue
+		}
+		rows = append(rows, kv{c, counts[c]})
+	}
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].n > rows[j-1].n; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	for _, row := range rows {
+		t.AddRow(row.c.String(), itoa(row.n), pct(row.n, detected))
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: General Task (42.1%) and App Specific Task (28.7%) dominate; Exception is rare")
+	return t
+}
+
+// Table13 spot-checks mapping precision: 50 sampled mappings per app
+// against the generator's fault ground truth.
+func (r *Runner) Table13() *Table {
+	t := &Table{ID: "Table 13", Title: "Correctness of the review→code mappings",
+		Header: []string{"#", "APK Name", "#Correct/Check", "Precision"}}
+	rng := rand.New(rand.NewSource(r.Seed + 13))
+	totCorrect, totChecked := 0, 0
+	for i, ev := range r.Eval18() {
+		type judged struct{ correct bool }
+		var pool []judged
+		for _, re := range ev.reviews {
+			if !re.detected || re.rs == nil || !re.rs.Localized() {
+				continue
+			}
+			// A mapping is judged correct when the review's fault classes
+			// intersect the recommendation; reviews without a linked fault
+			// (vague or misclassified) judge incorrect.
+			correct := false
+			if re.review.FaultID >= 0 {
+				if fault, ok := ev.data.FaultByID(re.review.FaultID); ok {
+					for _, cls := range fault.Classes {
+						if _, hit := re.rsClasses[cls]; hit {
+							correct = true
+						}
+					}
+				}
+			}
+			pool = append(pool, judged{correct: correct})
+		}
+		rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
+		check := 50
+		if len(pool) < check {
+			check = len(pool)
+		}
+		correct := 0
+		for _, j := range pool[:check] {
+			if j.correct {
+				correct++
+			}
+		}
+		t.AddRow(itoa(i+1), ev.data.Info.Name,
+			fmt.Sprintf("%d/%d", correct, check), pct(correct, check))
+		totCorrect += correct
+		totChecked += check
+	}
+	t.AddRow("", "Total", fmt.Sprintf("%d/%d", totCorrect, totChecked), pct(totCorrect, totChecked))
+	t.Notes = append(t.Notes, "paper overall precision: 70.0% (599/856)")
+	return t
+}
+
+// Table14 runs RS and CA on the 10 additional apps.
+func (r *Runner) Table14() *Table {
+	t := &Table{ID: "Table 14", Title: "Additional dataset: reviews resolved (overfitting check)",
+		Header: []string{"#", "APK Name", "#Error Review", "#RS", "#CA"}}
+	var totErr, totRS, totCA int
+	for i, ev := range r.Eval10() {
+		rs, ca := 0, 0
+		for _, re := range ev.reviews {
+			if !re.detected {
+				continue
+			}
+			if re.rs != nil && re.rs.Localized() {
+				rs++
+			}
+			if len(re.caClasses) > 0 {
+				ca++
+			}
+		}
+		t.AddRow(itoa(19+i), ev.data.Info.Name, itoa(ev.detectedErr), itoa(rs), itoa(ca))
+		totErr += ev.detectedErr
+		totRS += rs
+		totCA += ca
+	}
+	t.AddRow("", "Total", itoa(totErr), itoa(totRS), itoa(totCA))
+	t.Notes = append(t.Notes, "paper totals: 462 error reviews, RS 248, CA 97")
+	return t
+}
+
+// Table15 measures the average time per review of each context localizer.
+func (r *Runner) Table15() *Table {
+	t := &Table{ID: "Table 15", Title: "Average localization time per context type",
+		Header: []string{"Context", "Average time (per review)"}}
+	order := []ctxinfo.Type{
+		ctxinfo.GeneralTask, ctxinfo.AppSpecificTask, ctxinfo.APIURIIntent,
+		ctxinfo.OpeningApp, ctxinfo.RegisteringAccount, ctxinfo.ErrorMessage,
+		ctxinfo.GUI, ctxinfo.UpdatingApp, ctxinfo.Exception,
+	}
+	for _, c := range order {
+		d := r.localizerTiming(c, 200)
+		t.AddRow(c.String(), d.String())
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: API/URI/intent, App Specific Task, and General Task dominate the cost")
+	return t
+}
+
+// Table16 localizes iOS error reviews with the three iOS context types.
+func (r *Runner) Table16() *Table {
+	t := &Table{ID: "Table 16", Title: "Localizing iOS function-error reviews",
+		Header: []string{"iOS App", "#Error Reviews", "#RS Map", "Rate"}}
+	loc := ios.NewLocalizer()
+	apps := ios.GenerateTable16(r.Seed)
+	totReviews, totMapped := 0, 0
+	for _, a := range apps {
+		mapped := 0
+		for _, review := range a.ErrorReviews {
+			if len(loc.Localize(a.App, review)) > 0 {
+				mapped++
+			}
+		}
+		t.AddRow(a.App.Name, itoa(len(a.ErrorReviews)), itoa(mapped),
+			pct(mapped, len(a.ErrorReviews)))
+		totReviews += len(a.ErrorReviews)
+		totMapped += mapped
+	}
+	t.AddRow("Total", itoa(totReviews), itoa(totMapped), pct(totMapped, totReviews))
+	t.Notes = append(t.Notes, "paper: 366/1121 (32.6%) with three context types")
+	return t
+}
+
+// AllTables runs every table in order.
+func (r *Runner) AllTables() []*Table {
+	return []*Table{
+		r.Table1(), r.Table2(), r.Table3(), r.Table4(), r.Table5(),
+		r.Table6(), r.Table7(), r.Table8(), r.Table9(), r.Table10(),
+		r.Table11(), r.Table12(), r.Table13(), r.Table14(), r.Table15(),
+		r.Table16(),
+	}
+}
+
+// TableByNumber runs a single table (1–16).
+func (r *Runner) TableByNumber(n int) (*Table, error) {
+	switch n {
+	case 1:
+		return r.Table1(), nil
+	case 2:
+		return r.Table2(), nil
+	case 3:
+		return r.Table3(), nil
+	case 4:
+		return r.Table4(), nil
+	case 5:
+		return r.Table5(), nil
+	case 6:
+		return r.Table6(), nil
+	case 7:
+		return r.Table7(), nil
+	case 8:
+		return r.Table8(), nil
+	case 9:
+		return r.Table9(), nil
+	case 10:
+		return r.Table10(), nil
+	case 11:
+		return r.Table11(), nil
+	case 12:
+		return r.Table12(), nil
+	case 13:
+		return r.Table13(), nil
+	case 14:
+		return r.Table14(), nil
+	case 15:
+		return r.Table15(), nil
+	case 16:
+		return r.Table16(), nil
+	default:
+		return nil, fmt.Errorf("no table %d (valid: 1-16)", n)
+	}
+}

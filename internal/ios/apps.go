@@ -1,0 +1,172 @@
+package ios
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// iosFeature is one feature of a generated iOS app.
+type iosFeature struct {
+	verb, object string
+	className    string
+	selector     string
+	apiCalls     []string
+	guiObjects   []GUIObject
+}
+
+// appTemplate describes one Table 16 app.
+type appTemplate struct {
+	name     string
+	reviews  int
+	features []iosFeature
+}
+
+// table16Apps are the five iOS apps of Table 16.
+var table16Apps = []appTemplate{
+	{
+		name: "Nextcloud", reviews: 80,
+		features: []iosFeature{
+			{verb: "upload", object: "files", className: "NCFileUploader",
+				selector:   "uploadFileWithCompletion:",
+				apiCalls:   []string{"NSURLSession.uploadTaskWithRequest"},
+				guiObjects: []GUIObject{{Name: "uploadButton", Type: "UIButton"}}},
+			{verb: "sync", object: "photos", className: "NCAutoUpload",
+				selector: "syncPhotoLibrary:",
+				apiCalls: []string{"PHPhotoLibrary.performChanges"}},
+			{verb: "login", object: "account", className: "NCLoginViewController",
+				selector:   "loginWithCredentials:",
+				apiCalls:   []string{"LAContext.evaluatePolicy"},
+				guiObjects: []GUIObject{{Name: "loginButton", Type: "UIButton"}, {Name: "passwordField", Type: "UITextField"}}},
+		},
+	},
+	{
+		name: "WordPress", reviews: 403,
+		features: []iosFeature{
+			{verb: "upload", object: "photos", className: "WPMediaUploader",
+				selector:   "uploadMediaWithCompletion:",
+				apiCalls:   []string{"NSURLSession.uploadTaskWithRequest"},
+				guiObjects: []GUIObject{{Name: "uploadButton", Type: "UIButton"}}},
+			{verb: "post", object: "article", className: "WPPostEditor",
+				selector:   "postArticle:",
+				apiCalls:   []string{"NSURLSession.dataTaskWithURL"},
+				guiObjects: []GUIObject{{Name: "publishButton", Type: "UIBarButtonItem"}}},
+			{verb: "open", object: "site", className: "WPReaderViewController",
+				selector: "openSiteWithURL:",
+				apiCalls: []string{"WKWebView.loadRequest"}},
+			{verb: "show", object: "stats", className: "WPStatsViewController",
+				selector:   "showStatsScreen:",
+				apiCalls:   []string{"NSURLSession.dataTaskWithURL"},
+				guiObjects: []GUIObject{{Name: "statsTable", Type: "UITableView"}}},
+		},
+	},
+	{
+		name: "Signal", reviews: 304,
+		features: []iosFeature{
+			{verb: "send", object: "message", className: "SignalMessageSender",
+				selector:   "sendMessageToRecipient:",
+				apiCalls:   []string{"MFMessageComposeViewController.init"},
+				guiObjects: []GUIObject{{Name: "sendButton", Type: "UIButton"}}},
+			{verb: "find", object: "contact", className: "SignalContactsFinder",
+				selector: "findSystemContact:",
+				apiCalls: []string{"CNContactStore.unifiedContactsMatchingPredicate"}},
+			{verb: "verify", object: "certificate", className: "SignalTrustStore",
+				selector: "verifyCertificateTrust:",
+				apiCalls: []string{"SecTrustEvaluate"}},
+		},
+	},
+	{
+		name: "Wire", reviews: 156,
+		features: []iosFeature{
+			{verb: "send", object: "message", className: "WireMessageService",
+				selector: "sendTextMessage:",
+				apiCalls: []string{"MFMessageComposeViewController.init"}},
+			{verb: "play", object: "audio", className: "WireAudioPlayer",
+				selector:   "playAudioMessage:",
+				apiCalls:   []string{"AVAudioPlayer.play"},
+				guiObjects: []GUIObject{{Name: "playButton", Type: "UIButton"}}},
+			{verb: "login", object: "account", className: "WireAuthenticator",
+				selector: "authenticateUser:",
+				apiCalls: []string{"LAContext.evaluatePolicy"}},
+		},
+	},
+	{
+		name: "DuckDuckGo", reviews: 178,
+		features: []iosFeature{
+			{verb: "search", object: "page", className: "DDGSearchController",
+				selector:   "searchPageForQuery:",
+				apiCalls:   []string{"NSURLSession.dataTaskWithURL"},
+				guiObjects: []GUIObject{{Name: "searchBar", Type: "UISearchBar"}}},
+			{verb: "open", object: "links", className: "DDGTabViewController",
+				selector:   "openURLInNewTab:",
+				apiCalls:   []string{"WKWebView.loadRequest"},
+				guiObjects: []GUIObject{{Name: "tabsButton", Type: "UIButton"}}},
+			{verb: "delete", object: "history", className: "DDGDataClearer",
+				selector: "deleteHistoryData:",
+				apiCalls: []string{"NSFileManager.removeItemAtPath"}},
+		},
+	},
+}
+
+// GeneratedApp bundles an iOS app with its error reviews.
+type GeneratedApp struct {
+	App *App
+	// ErrorReviews are the function-error reviews of the app.
+	ErrorReviews []string
+}
+
+// GenerateTable16 generates the five iOS apps and their error-review
+// corpora.
+func GenerateTable16(seed int64) []GeneratedApp {
+	out := make([]GeneratedApp, 0, len(table16Apps))
+	for ai, tpl := range table16Apps {
+		rng := rand.New(rand.NewSource(seed + int64(ai)*31337))
+		app := &App{Name: tpl.name}
+		for _, f := range tpl.features {
+			app.Classes = append(app.Classes, Class{
+				Name: f.className,
+				Methods: []Method{
+					{Selector: f.selector, APICalls: f.apiCalls},
+				},
+				GUIObjects: f.guiObjects,
+			})
+		}
+		// Filler classes without review-facing vocabulary.
+		for i := 0; i < 4; i++ {
+			app.Classes = append(app.Classes, Class{
+				Name:    fmt.Sprintf("%sInternalHelper%d", tpl.name, i),
+				Methods: []Method{{Selector: "configure:"}},
+			})
+		}
+		g := GeneratedApp{App: app}
+		for i := 0; i < tpl.reviews; i++ {
+			f := tpl.features[rng.Intn(len(tpl.features))]
+			g.ErrorReviews = append(g.ErrorReviews, iosErrorReview(f, rng))
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// iosErrorReview renders a review; roughly two-thirds describe the error
+// without localizable context (matching the lower iOS hit rate of Table 16,
+// where only three context types are available).
+func iosErrorReview(f iosFeature, rng *rand.Rand) string {
+	verbObj := f.verb + " " + f.object
+	contextful := []string{
+		fmt.Sprintf("The app crashes every time i %s.", verbObj),
+		fmt.Sprintf("I cannot %s since the update.", verbObj),
+		fmt.Sprintf("Fails whenever i try to %s.", verbObj),
+	}
+	vague := []string{
+		"Keeps crashing on my iphone.",
+		"Doesn't work after ios update.",
+		"The app freezes constantly, unusable.",
+		"It logged me out and now everything is broken.",
+		"Battery drain is terrible and the app is so slow.",
+		"Widget stopped updating, had to reinstall.",
+	}
+	if rng.Float64() < 0.36 {
+		return contextful[rng.Intn(len(contextful))]
+	}
+	return vague[rng.Intn(len(vague))]
+}

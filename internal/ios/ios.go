@@ -1,0 +1,220 @@
+// Package ios is the iOS substrate of §6.3: a Class-dump-style app model
+// (Objective-C class names, method selectors, GUI object fields, invoked
+// framework APIs) and a localizer that uses the three context types the
+// paper extracts for iOS apps — "App Specific Task" (class/method names),
+// "GUI" (UI-typed object names), and "API" (invoked framework APIs). It
+// demonstrates that ReviewSolver's review-analysis and matching layers are
+// ecosystem-independent; only the static-analysis layer changes (Table 16).
+package ios
+
+import (
+	"strings"
+
+	"reviewsolver/internal/phrase"
+	"reviewsolver/internal/textproc"
+	"reviewsolver/internal/wordvec"
+)
+
+// App is one iOS application as recovered by Class-dump.
+type App struct {
+	// Name is the app name, e.g. "WordPress".
+	Name string
+	// Classes are the developer classes.
+	Classes []Class
+}
+
+// Class is one Objective-C class.
+type Class struct {
+	// Name is the class name, e.g. "WPMediaUploader".
+	Name string
+	// Methods are the declared method selectors.
+	Methods []Method
+	// GUIObjects are the fields whose types are UIKit components.
+	GUIObjects []GUIObject
+}
+
+// Method is one method with the framework APIs its implementation calls.
+type Method struct {
+	// Selector is the Objective-C selector, e.g.
+	// "uploadMediaWithCompletion:".
+	Selector string
+	// APICalls name invoked framework APIs as "Class.selector".
+	APICalls []string
+}
+
+// GUIObject is a UIKit-typed field.
+type GUIObject struct {
+	// Name is the field name, e.g. "replyButton".
+	Name string
+	// Type is the UIKit type, e.g. "UIButton".
+	Type string
+}
+
+// FrameworkAPI describes one iOS framework API with its documentation
+// phrase, the counterpart of the 6,086 APIs the paper crawls from the iOS
+// documentation.
+type FrameworkAPI struct {
+	Name        string
+	Description string
+}
+
+// Catalog is the built-in iOS framework API catalog.
+var Catalog = []FrameworkAPI{
+	{Name: "NSURLSession.dataTaskWithURL", Description: "retrieve the contents of a url and download data from the server"},
+	{Name: "NSURLSession.uploadTaskWithRequest", Description: "upload data or a file to the server"},
+	{Name: "UIImagePickerController.takePicture", Description: "take a picture with the camera"},
+	{Name: "AVAudioPlayer.play", Description: "play audio sound from a file"},
+	{Name: "AVPlayer.play", Description: "begin playback of the video or audio media"},
+	{Name: "CNContactStore.unifiedContactsMatchingPredicate", Description: "fetch contacts matching the predicate from the address book"},
+	{Name: "CLLocationManager.startUpdatingLocation", Description: "start reporting the gps location of the device"},
+	{Name: "UIApplication.openURL", Description: "open a url link in the browser"},
+	{Name: "NSFileManager.createFileAtPath", Description: "create and save a file on the device storage"},
+	{Name: "NSFileManager.removeItemAtPath", Description: "delete a file from the device storage"},
+	{Name: "MFMessageComposeViewController.init", Description: "compose and send a text message"},
+	{Name: "MFMailComposeViewController.init", Description: "compose and send an email message"},
+	{Name: "SecTrustEvaluate", Description: "verify the server certificate trust chain"},
+	{Name: "UserDefaults.setObject", Description: "save a value into the user settings preferences"},
+	{Name: "WKWebView.loadRequest", Description: "load the web page for the given url request"},
+	{Name: "UNUserNotificationCenter.addNotificationRequest", Description: "schedule a notification to show to the user"},
+	{Name: "LAContext.evaluatePolicy", Description: "authenticate the user with biometrics to login"},
+	{Name: "PHPhotoLibrary.performChanges", Description: "save photos and videos into the photo library"},
+}
+
+// Localizer maps reviews of iOS apps to classes using the three extracted
+// context types.
+type Localizer struct {
+	vec       *wordvec.Model
+	extractor *phrase.Extractor
+	apiVecs   []wordvec.Vector
+}
+
+// NewLocalizer builds an iOS localizer.
+func NewLocalizer() *Localizer {
+	l := &Localizer{
+		vec:       wordvec.NewModel(),
+		extractor: phrase.NewExtractor(),
+	}
+	for _, api := range Catalog {
+		l.apiVecs = append(l.apiVecs, l.vec.PhraseVector(descWords(api.Description)))
+	}
+	return l
+}
+
+func descWords(desc string) []string {
+	var out []string
+	for _, w := range textproc.Words(desc) {
+		if !textproc.IsStopword(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// selectorWords splits an Objective-C selector into words
+// ("uploadMediaWithCompletion:" → upload media with completion →
+// content words only).
+func selectorWords(selector string) []string {
+	selector = strings.ReplaceAll(selector, ":", " ")
+	var out []string
+	for _, part := range strings.Fields(selector) {
+		for _, w := range textproc.SplitIdentifier(part) {
+			switch w {
+			case "with", "for", "at", "to", "did", "will", "completion", "handler", "init":
+				continue
+			}
+			if textproc.IsStopword(w) {
+				continue
+			}
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Localize returns the classes of the app matched by the review, using the
+// three iOS context types of §6.3.
+func (l *Localizer) Localize(app *App, review string) []string {
+	ex := l.extractor.ExtractSentence(review)
+	matched := make(map[string]struct{})
+
+	for _, vp := range ex.VerbPhrases {
+		v := l.vec.PhraseVector(vp.Words())
+
+		for ci := range app.Classes {
+			cls := &app.Classes[ci]
+			// (1) App Specific Task: selector words.
+			for _, m := range cls.Methods {
+				words := selectorWords(m.Selector)
+				if len(words) == 0 {
+					continue
+				}
+				if wordvec.Cosine(v, l.vec.PhraseVector(words)) >= l.vec.Threshold() {
+					matched[cls.Name] = struct{}{}
+				}
+				// (3) API: the method's framework calls vs the catalog.
+				for _, call := range m.APICalls {
+					if idx := apiIndex(call); idx >= 0 {
+						if wordvec.Cosine(v, l.apiVecs[idx]) >= l.vec.Threshold() {
+							matched[cls.Name] = struct{}{}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// (2) GUI: widget noun phrases vs UI object names.
+	for _, np := range ex.NounPhrases {
+		if len(np.Modifiers) == 0 {
+			continue
+		}
+		if !isUIWord(np.Head) {
+			continue
+		}
+		for ci := range app.Classes {
+			cls := &app.Classes[ci]
+			for _, obj := range cls.GUIObjects {
+				objWords := textproc.SplitIdentifier(obj.Name)
+				for _, mod := range np.Modifiers {
+					for _, ow := range objWords {
+						if ow == mod || l.vec.WordSimilarity(ow, mod) >= l.vec.Threshold() {
+							matched[cls.Name] = struct{}{}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	out := make([]string, 0, len(matched))
+	for c := range matched {
+		out = append(out, c)
+	}
+	sortStrings(out)
+	return out
+}
+
+func apiIndex(call string) int {
+	for i, api := range Catalog {
+		if api.Name == call {
+			return i
+		}
+	}
+	return -1
+}
+
+func isUIWord(w string) bool {
+	switch w {
+	case "button", "buttons", "menu", "tab", "screen", "page", "icon", "keyboard", "list":
+		return true
+	}
+	return false
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package ios
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSelectorWords(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"uploadMediaWithCompletion:", []string{"upload", "media"}},
+		{"sendMessageToRecipient:", []string{"send", "message", "recipient"}},
+		{"clearBrowsingData:", []string{"clear", "browsing", "data"}},
+	}
+	for _, tt := range tests {
+		if got := selectorWords(tt.in); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("selectorWords(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestLocalizeAppSpecific(t *testing.T) {
+	l := NewLocalizer()
+	apps := GenerateTable16(1)
+	var wordpress *GeneratedApp
+	for i := range apps {
+		if apps[i].App.Name == "WordPress" {
+			wordpress = &apps[i]
+		}
+	}
+	if wordpress == nil {
+		t.Fatal("WordPress app missing")
+	}
+	got := l.Localize(wordpress.App, "The app crashes every time i upload photos.")
+	found := false
+	for _, cls := range got {
+		if cls == "WPMediaUploader" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("upload photos should map to WPMediaUploader; got %v", got)
+	}
+}
+
+func TestLocalizeGUI(t *testing.T) {
+	l := NewLocalizer()
+	apps := GenerateTable16(1)
+	ddg := apps[len(apps)-1]
+	if ddg.App.Name != "DuckDuckGo" {
+		t.Fatal("unexpected app order")
+	}
+	got := l.Localize(ddg.App, "the tabs button is completely broken")
+	found := false
+	for _, cls := range got {
+		if cls == "DDGTabViewController" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tabs button should map to DDGTabViewController; got %v", got)
+	}
+}
+
+func TestLocalizeVagueReviewUnmapped(t *testing.T) {
+	l := NewLocalizer()
+	apps := GenerateTable16(1)
+	got := l.Localize(apps[0].App, "Keeps crashing on my iphone.")
+	if len(got) != 0 {
+		t.Errorf("vague review mapped to %v", got)
+	}
+}
+
+func TestGenerateTable16Shape(t *testing.T) {
+	apps := GenerateTable16(1)
+	if len(apps) != 5 {
+		t.Fatalf("apps = %d, want 5", len(apps))
+	}
+	total := 0
+	for _, a := range apps {
+		total += len(a.ErrorReviews)
+	}
+	if total != 1121 {
+		t.Errorf("total error reviews = %d, want 1121 (Table 16)", total)
+	}
+}
+
+func TestTable16LocalizationRate(t *testing.T) {
+	l := NewLocalizer()
+	apps := GenerateTable16(1)
+	localized, total := 0, 0
+	for _, a := range apps {
+		for _, review := range a.ErrorReviews {
+			total++
+			if len(l.Localize(a.App, review)) > 0 {
+				localized++
+			}
+		}
+	}
+	rate := float64(localized) / float64(total)
+	// Table 16 reports 32.6%; with only three context types the rate must
+	// land well below the Android rate but stay meaningful.
+	if rate < 0.15 || rate > 0.55 {
+		t.Errorf("iOS localization rate = %.2f (%d/%d), want ≈ 0.33", rate, localized, total)
+	}
+}
+
+func TestCatalogDescriptions(t *testing.T) {
+	if len(Catalog) < 15 {
+		t.Errorf("iOS catalog too small: %d", len(Catalog))
+	}
+	for _, api := range Catalog {
+		if api.Description == "" {
+			t.Errorf("API %s lacks description", api.Name)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package parser
+
+import "reviewsolver/internal/pos"
+
+// extractDeps derives typed dependencies from the chunk sequence. The
+// algorithm walks the S-level chunks left to right, tracking the most recent
+// verb (the governor for objects, negations, and adverbs) and the subject NP
+// preceding it.
+func extractDeps(tokens []pos.TaggedToken, root *Node) []Dependency {
+	var deps []Dependency
+	add := func(rel string, head, dep int) {
+		if head >= 0 && dep >= 0 {
+			deps = append(deps, Dependency{Rel: rel, Head: head, Dep: dep})
+		}
+	}
+
+	// Intra-NP relations: det, amod, compound to the head noun.
+	for _, np := range root.PhrasesLabeled(LabelNP) {
+		head := npHeadIndex(np)
+		if head < 0 {
+			continue
+		}
+		for _, leaf := range np.Leaves() {
+			i := leaf.TokenIndex
+			if i == head {
+				continue
+			}
+			switch leaf.Token.Tag {
+			case pos.DT, pos.PRPS:
+				add(RelDet, head, i)
+			case pos.JJ, pos.VBN, pos.VBG, pos.CD:
+				add(RelAMod, head, i)
+			default:
+				if leaf.Token.Tag.IsNoun() {
+					add(RelCompound, head, i)
+				}
+			}
+		}
+	}
+
+	// Clause-level relations.
+	var (
+		lastVerb    = -1 // main verb index of the current clause
+		pendingSubj = -1 // head of the NP seen before the verb
+		passive     bool // whether the current VP looked passive
+		lastCC      = -1 // most recent coordinating conjunction
+		firstVerb   = -1 // first verb of the sentence (for conj)
+		pendingPrep = -1 // preposition waiting for its object
+	)
+	for _, ch := range root.Children {
+		switch ch.Label {
+		case LabelNP:
+			head := npHeadIndex(ch)
+			if head < 0 {
+				continue
+			}
+			switch {
+			case lastVerb >= 0 && pendingPrep >= 0:
+				add(RelPObj, pendingPrep, head)
+				pendingPrep = -1
+			case lastVerb >= 0:
+				add(RelDObj, lastVerb, head)
+			default:
+				pendingSubj = head
+			}
+		case LabelVP:
+			verb, aux, negs, advs, isPassive := analyzeVP(ch)
+			if verb < 0 {
+				continue
+			}
+			if firstVerb < 0 {
+				firstVerb = verb
+			} else if lastCC >= 0 {
+				add(RelConj, firstVerb, verb)
+				add(RelCC, firstVerb, lastCC)
+				lastCC = -1
+			}
+			passive = isPassive
+			if pendingSubj >= 0 {
+				if passive {
+					add(RelNSubjPass, verb, pendingSubj)
+				} else {
+					add(RelNSubj, verb, pendingSubj)
+				}
+				pendingSubj = -1
+			}
+			for _, a := range aux {
+				add(RelAux, verb, a)
+			}
+			for _, ng := range negs {
+				add(RelNeg, verb, ng)
+			}
+			for _, av := range advs {
+				add(RelAdvMod, verb, av)
+			}
+			lastVerb = verb
+		case LabelPP:
+			prep, npHead := ppParts(ch)
+			if prep >= 0 && lastVerb >= 0 {
+				add(RelPrep, lastVerb, prep)
+			}
+			if prep >= 0 && npHead >= 0 {
+				add(RelPObj, prep, npHead)
+			}
+		case LabelADVP:
+			for _, leaf := range ch.Leaves() {
+				if lastVerb >= 0 {
+					add(RelAdvMod, lastVerb, leaf.TokenIndex)
+				}
+			}
+		case LabelCC:
+			if len(ch.Children) > 0 {
+				lastCC = ch.Children[0].TokenIndex
+			}
+		case LabelO:
+			// Wh-words open a new clause: reset the verb/subject state so
+			// the subordinate clause gets its own nsubj/dobj relations.
+			for _, leaf := range ch.Leaves() {
+				if leaf.Token.Tag == pos.WRB || leaf.Token.Tag == pos.WP {
+					lastVerb, pendingSubj, pendingPrep = -1, -1, -1
+				}
+			}
+		}
+	}
+	return deps
+}
+
+// npHeadIndex returns the index of the head (last) noun of an NP, or the
+// last pronoun, or -1.
+func npHeadIndex(np *Node) int {
+	head := -1
+	for _, leaf := range np.Leaves() {
+		t := leaf.Token.Tag
+		if t.IsNoun() || t == pos.PRP || t == pos.EX {
+			head = leaf.TokenIndex
+		}
+	}
+	if head >= 0 {
+		return head
+	}
+	// Bare "this"/"these" NPs: fall back to the last leaf.
+	leaves := np.Leaves()
+	if len(leaves) > 0 {
+		return leaves[len(leaves)-1].TokenIndex
+	}
+	return -1
+}
+
+// analyzeVP picks apart a VP chunk into main verb, auxiliaries, negations,
+// adverbs, and whether the construction looks passive ("gets flipped",
+// "is saved").
+func analyzeVP(vp *Node) (verb int, aux, negs, advs []int, passive bool) {
+	verb = -1
+	leaves := vp.Leaves()
+	var sawBeOrGet bool
+	for _, leaf := range leaves {
+		i := leaf.TokenIndex
+		switch tag := leaf.Token.Tag; {
+		case tag == pos.NEG:
+			negs = append(negs, i)
+		case tag == pos.MD || tag == pos.TO:
+			aux = append(aux, i)
+		case tag == pos.RB:
+			advs = append(advs, i)
+		case tag.IsVerb():
+			lower := leaf.Token.Lower
+			if isAuxVerb(lower) {
+				sawBeOrGet = sawBeOrGet || isBeOrGet(lower)
+				if verb < 0 {
+					verb = i // provisional: aux may be the only verb
+				} else {
+					aux = append(aux, i)
+				}
+				continue
+			}
+			if verb >= 0 && isAuxVerb(leaves0Lower(leaves, verb)) {
+				aux = append(aux, verb)
+			}
+			if tag == pos.VBN && sawBeOrGet {
+				passive = true
+			}
+			verb = i
+		}
+	}
+	return verb, aux, negs, advs, passive
+}
+
+func leaves0Lower(leaves []*Node, tokenIndex int) string {
+	for _, l := range leaves {
+		if l.TokenIndex == tokenIndex {
+			return l.Token.Lower
+		}
+	}
+	return ""
+}
+
+func isAuxVerb(w string) bool {
+	switch w {
+	case "is", "am", "are", "was", "were", "be", "been", "being",
+		"do", "does", "did", "have", "has", "had", "having",
+		"get", "gets", "got", "getting", "keep", "keeps", "kept":
+		return true
+	}
+	return false
+}
+
+func isBeOrGet(w string) bool {
+	switch w {
+	case "is", "am", "are", "was", "were", "be", "been", "being",
+		"get", "gets", "got", "getting":
+		return true
+	}
+	return false
+}
+
+// ppParts returns the preposition index and contained-NP head index of a PP.
+func ppParts(pp *Node) (prep, npHead int) {
+	prep, npHead = -1, -1
+	for _, c := range pp.Children {
+		if c.IsLeaf() && (c.Token.Tag == pos.IN || c.Token.Tag == pos.TO) && prep < 0 {
+			prep = c.TokenIndex
+		}
+		if c.Label == LabelNP {
+			npHead = npHeadIndex(c)
+		}
+	}
+	return prep, npHead
+}

@@ -1,0 +1,321 @@
+// Package parser implements a shallow constituency parser and typed
+// dependency extractor for app-review sentences, standing in for the
+// Stanford Parser used by the paper (§3.2.1). It produces:
+//
+//   - a parse tree whose internal nodes are S/NP/VP/PP/ADVP chunks and whose
+//     leaves are POS-tagged tokens (Fig. 2, left), and
+//   - typed dependency relations between words (Fig. 2, right): nsubj,
+//     nsubjpass, dobj, pobj, prep, neg, amod, det, advmod, aux, cc, conj.
+//
+// The chunker is a deterministic longest-match finite-state machine over POS
+// tags; the dependency pass reads head words out of the chunks. The subset
+// of relations is exactly what ReviewSolver's phrase extraction (§3.2.4) and
+// negation-aware classification (§3.2.2) consume.
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"reviewsolver/internal/pos"
+)
+
+// Label names a parse-tree node.
+type Label string
+
+// Chunk labels.
+const (
+	LabelS    Label = "S"    // sentence root
+	LabelNP   Label = "NP"   // noun phrase
+	LabelVP   Label = "VP"   // verb phrase
+	LabelPP   Label = "PP"   // prepositional phrase
+	LabelADVP Label = "ADVP" // adverbial phrase
+	LabelCC   Label = "CC"   // coordination
+	LabelO    Label = "O"    // other (punctuation, interjections)
+)
+
+// Node is a parse-tree node. Leaves carry a token; internal nodes carry
+// children.
+type Node struct {
+	Label    Label
+	Children []*Node
+	// Token is set on leaves only.
+	Token *pos.TaggedToken
+	// TokenIndex is the sentence position of a leaf token, -1 for internal
+	// nodes.
+	TokenIndex int
+}
+
+// IsLeaf reports whether the node is a token leaf.
+func (n *Node) IsLeaf() bool { return n.Token != nil }
+
+// Text returns the surface text covered by the node.
+func (n *Node) Text() string {
+	if n.IsLeaf() {
+		return n.Token.Text
+	}
+	parts := make([]string, 0, len(n.Children))
+	for _, c := range n.Children {
+		parts = append(parts, c.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// Leaves returns the leaf nodes under n in sentence order.
+func (n *Node) Leaves() []*Node {
+	if n.IsLeaf() {
+		return []*Node{n}
+	}
+	var out []*Node
+	for _, c := range n.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// PhrasesLabeled returns the internal nodes under n (including n) with the
+// given label, in sentence order. Phrase extraction uses it to list NPs:
+// "for each line of the parse tree, if the line starts with NP ..." (§3.2.4).
+func (n *Node) PhrasesLabeled(label Label) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.IsLeaf() {
+			return
+		}
+		if m.Label == label {
+			out = append(out, m)
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// String renders the tree in the one-phrase-per-line style of Fig. 2.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "%s(%s %s)\n", indent, n.Token.Tag, n.Token.Text)
+		return
+	}
+	fmt.Fprintf(b, "%s(%s\n", indent, n.Label)
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+	fmt.Fprintf(b, "%s)\n", indent)
+}
+
+// Dependency is a typed grammatical relation between two tokens, identified
+// by their sentence positions.
+type Dependency struct {
+	// Rel is the relation name (e.g. "dobj", "neg").
+	Rel string
+	// Head is the index of the governing token.
+	Head int
+	// Dep is the index of the dependent token.
+	Dep int
+}
+
+// Relation names produced by the dependency pass.
+const (
+	RelNSubj     = "nsubj"
+	RelNSubjPass = "nsubjpass"
+	RelDObj      = "dobj"
+	RelPObj      = "pobj"
+	RelPrep      = "prep"
+	RelNeg       = "neg"
+	RelAMod      = "amod"
+	RelDet       = "det"
+	RelAdvMod    = "advmod"
+	RelAux       = "aux"
+	RelCC        = "cc"
+	RelConj      = "conj"
+	RelCompound  = "compound"
+)
+
+// Parse is the result of parsing one sentence.
+type Parse struct {
+	// Tokens are the POS-tagged tokens of the sentence.
+	Tokens []pos.TaggedToken
+	// Tree is the chunked parse tree rooted at S.
+	Tree *Node
+	// Deps are the typed dependencies.
+	Deps []Dependency
+}
+
+// DepsWithRel returns the dependencies with the given relation.
+func (p *Parse) DepsWithRel(rel string) []Dependency {
+	var out []Dependency
+	for _, d := range p.Deps {
+		if d.Rel == rel {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasDep reports whether relation rel holds between head and dep.
+func (p *Parse) HasDep(rel string, head, dep int) bool {
+	for _, d := range p.Deps {
+		if d.Rel == rel && d.Head == head && d.Dep == dep {
+			return true
+		}
+	}
+	return false
+}
+
+// Parser parses tagged sentences.
+type Parser struct {
+	tagger *pos.Tagger
+}
+
+// New returns a Parser using a fresh tagger extended with the given proper
+// nouns.
+func New(properNouns ...string) *Parser {
+	return &Parser{tagger: pos.NewTagger(properNouns...)}
+}
+
+// ParseSentence tags and parses a sentence.
+func (p *Parser) ParseSentence(sentence string) *Parse {
+	tokens := p.tagger.TagSentence(sentence)
+	return p.ParseTagged(tokens)
+}
+
+// ParseTagged parses an already-tagged token sequence.
+func (p *Parser) ParseTagged(tokens []pos.TaggedToken) *Parse {
+	root := chunk(tokens)
+	deps := extractDeps(tokens, root)
+	return &Parse{Tokens: tokens, Tree: root, Deps: deps}
+}
+
+// chunk groups the tagged tokens into NP/VP/PP/ADVP chunks under an S root.
+func chunk(tokens []pos.TaggedToken) *Node {
+	root := &Node{Label: LabelS, TokenIndex: -1}
+	i := 0
+	n := len(tokens)
+	leaf := func(idx int) *Node {
+		return &Node{Label: Label(tokens[idx].Tag), Token: &tokens[idx], TokenIndex: idx}
+	}
+	for i < n {
+		tag := tokens[i].Tag
+		switch {
+		case isNPStart(tokens, i):
+			node := &Node{Label: LabelNP, TokenIndex: -1}
+			for i < n && inNP(tokens, i, node) {
+				node.Children = append(node.Children, leaf(i))
+				i++
+			}
+			root.Children = append(root.Children, node)
+		case tag.IsVerb() || tag == pos.MD || tag == pos.NEG:
+			node := &Node{Label: LabelVP, TokenIndex: -1}
+			// Aux/modal/negation run followed by verbs and interleaved
+			// adverbs/negations, plus trailing particles ("turn off").
+			for i < n {
+				t := tokens[i].Tag
+				if t.IsVerb() || t == pos.MD || t == pos.NEG || t == pos.TO ||
+					(t == pos.RB && i+1 < n && (tokens[i+1].Tag.IsVerb() || tokens[i+1].Tag == pos.NEG)) {
+					node.Children = append(node.Children, leaf(i))
+					i++
+					continue
+				}
+				break
+			}
+			root.Children = append(root.Children, node)
+		case tag == pos.IN || tag == pos.TO:
+			node := &Node{Label: LabelPP, TokenIndex: -1}
+			node.Children = append(node.Children, leaf(i))
+			i++
+			// Attach the following NP inside the PP.
+			if i < n && isNPStart(tokens, i) {
+				np := &Node{Label: LabelNP, TokenIndex: -1}
+				for i < n && inNP(tokens, i, np) {
+					np.Children = append(np.Children, leaf(i))
+					i++
+				}
+				node.Children = append(node.Children, np)
+			}
+			root.Children = append(root.Children, node)
+		case tag == pos.RB:
+			node := &Node{Label: LabelADVP, TokenIndex: -1}
+			for i < n && tokens[i].Tag == pos.RB {
+				node.Children = append(node.Children, leaf(i))
+				i++
+			}
+			root.Children = append(root.Children, node)
+		case tag == pos.CC:
+			root.Children = append(root.Children, &Node{Label: LabelCC, TokenIndex: -1,
+				Children: []*Node{leaf(i)}})
+			i++
+		default:
+			root.Children = append(root.Children, &Node{Label: LabelO, TokenIndex: -1,
+				Children: []*Node{leaf(i)}})
+			i++
+		}
+	}
+	return root
+}
+
+// isNPStart reports whether a noun phrase can start at position i.
+func isNPStart(tokens []pos.TaggedToken, i int) bool {
+	t := tokens[i].Tag
+	switch t {
+	case pos.DT, pos.PRPS, pos.CD, pos.PRP, pos.EX:
+		return true
+	case pos.JJ:
+		// Adjective leading into a noun.
+		return followedByNoun(tokens, i)
+	case pos.VBG, pos.VBN:
+		// Participle modifier directly before a noun ("saved picture").
+		return followedByNoun(tokens, i)
+	default:
+		return t.IsNoun()
+	}
+}
+
+func followedByNoun(tokens []pos.TaggedToken, i int) bool {
+	for j := i + 1; j < len(tokens); j++ {
+		t := tokens[j].Tag
+		if t.IsNoun() {
+			return true
+		}
+		if t != pos.JJ && t != pos.CD && t != pos.VBN && t != pos.VBG {
+			return false
+		}
+	}
+	return false
+}
+
+// inNP reports whether token i continues the noun phrase being built.
+func inNP(tokens []pos.TaggedToken, i int, np *Node) bool {
+	t := tokens[i].Tag
+	switch t {
+	case pos.DT, pos.PRPS, pos.CD:
+		return len(np.Children) == 0 || !lastIsNoun(np)
+	case pos.JJ:
+		return !lastIsNoun(np) || followedByNoun(tokens, i)
+	case pos.VBN, pos.VBG:
+		// participle modifiers allowed before the head noun
+		return !lastIsNoun(np) && followedByNoun(tokens, i)
+	case pos.PRP, pos.EX:
+		return len(np.Children) == 0
+	default:
+		return t.IsNoun()
+	}
+}
+
+func lastIsNoun(np *Node) bool {
+	if len(np.Children) == 0 {
+		return false
+	}
+	last := np.Children[len(np.Children)-1]
+	return last.Token != nil && last.Token.Tag.IsNoun()
+}

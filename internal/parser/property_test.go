@@ -1,0 +1,79 @@
+package parser
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseArbitraryInput: the parser must never panic and must preserve
+// the token stream in its leaves, for any input.
+func TestParseArbitraryInput(t *testing.T) {
+	p := New()
+	f := func(s string) bool {
+		parse := p.ParseSentence(s)
+		leaves := parse.Tree.Leaves()
+		if len(leaves) != len(parse.Tokens) {
+			return false
+		}
+		for i, leaf := range leaves {
+			if leaf.TokenIndex != i {
+				return false
+			}
+			if leaf.Token.Text != parse.Tokens[i].Text {
+				return false
+			}
+		}
+		// Every dependency must reference valid token indexes.
+		for _, d := range parse.Deps {
+			if d.Head < 0 || d.Head >= len(parse.Tokens) ||
+				d.Dep < 0 || d.Dep >= len(parse.Tokens) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseDeterministic: the same sentence always yields the same tree and
+// dependencies.
+func TestParseDeterministic(t *testing.T) {
+	p := New()
+	f := func(s string) bool {
+		a := p.ParseSentence(s)
+		b := p.ParseSentence(s)
+		if a.Tree.String() != b.Tree.String() {
+			return false
+		}
+		if len(a.Deps) != len(b.Deps) {
+			return false
+		}
+		for i := range a.Deps {
+			if a.Deps[i] != b.Deps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNoSelfDependencies: a token never governs itself.
+func TestNoSelfDependencies(t *testing.T) {
+	p := New()
+	f := func(s string) bool {
+		for _, d := range p.ParseSentence(s).Deps {
+			if d.Head == d.Dep {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

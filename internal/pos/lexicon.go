@@ -1,0 +1,220 @@
+package pos
+
+// lexiconEntries maps review-English words to their most frequent POS tag.
+// Ambiguous words get their most frequent reading; contextual rules repair
+// the rest.
+var lexiconEntries = map[string]Tag{
+	// determiners
+	"the": DT, "a": DT, "an": DT, "this": DT, "that": DT, "these": DT,
+	"those": DT, "every": DT, "each": DT, "any": DT, "some": DT, "no": DT,
+	"all": DT, "both": DT, "another": DT, "such": DT,
+
+	// pronouns
+	"i": PRP, "me": PRP, "you": PRP, "he": PRP, "him": PRP, "she": PRP,
+	"it": PRP, "we": PRP, "us": PRP, "they": PRP, "them": PRP,
+	"myself": PRP, "itself": PRP, "something": PRP, "anything": PRP,
+	"everything": PRP, "nothing": PRP, "someone": PRP, "anyone": PRP,
+	"everyone": PRP, "nobody": PRP,
+	"my": PRPS, "your": PRPS, "his": PRPS, "her": PRPS, "its": PRPS,
+	"our": PRPS, "their": PRPS,
+
+	// wh-words
+	"what": WP, "who": WP, "which": WP, "whom": WP, "whose": WP,
+	"when": WRB, "where": WRB, "why": WRB, "how": WRB, "whenever": WRB,
+	"there": EX,
+
+	// negation
+	"not": NEG, "never": NEG, "cannot": NEG, "cant": NEG, "wont": NEG,
+	"dont": NEG, "doesnt": NEG, "didnt": NEG, "isnt": NEG, "wasnt": NEG,
+	"couldnt": NEG, "wouldnt": NEG, "none": NEG, "neither": NEG, "nor": NEG,
+
+	// modals and auxiliaries
+	"can": MD, "could": MD, "will": MD, "would": MD, "shall": MD,
+	"should": MD, "may": MD, "might": MD, "must": MD,
+	"is": VBZ, "am": VBP, "are": VBP, "was": VBD, "were": VBD, "be": VB,
+	"been": VBN, "being": VBG, "do": VBP, "does": VBZ, "did": VBD,
+	"have": VBP, "has": VBZ, "had": VBD, "having": VBG,
+	"to": TO,
+
+	// conjunctions
+	"and": CC, "or": CC, "but": CC, "yet": CC, "so": CC, "whereas": CC,
+	"nevertheless": CC, "however": CC,
+
+	// prepositions / subordinators
+	"in": IN, "on": IN, "at": IN, "of": IN, "for": IN, "from": IN,
+	"with": IN, "without": IN, "by": IN, "about": IN, "into": IN,
+	"onto": IN, "over": IN, "under": IN, "through": IN, "between": IN,
+	"during": IN, "after": IN, "before": IN, "since": IN, "until": IN,
+	"while": IN, "because": IN, "if": IN, "though": IN, "although": IN,
+	"as": IN, "than": IN, "per": IN, "via": IN, "against": IN,
+	"across": IN, "behind": IN, "beyond": IN, "within": IN, "out": IN,
+	"off": IN, "up": IN, "down": IN, "upside": IN,
+
+	// adverbs
+	"very": RB, "really": RB, "just": RB, "only": RB, "even": RB,
+	"still": RB, "again": RB, "always": RB, "sometimes": RB, "often": RB,
+	"usually": RB, "rarely": RB, "constantly": RB, "randomly": RB,
+	"suddenly": RB, "recently": RB, "currently": RB, "now": RB,
+	"today": RB, "yesterday": RB, "here": RB, "too": RB, "also": RB,
+	"anymore": RB, "back": RB, "away": RB, "then": RB, "once": RB,
+	"twice": RB, "already": RB, "almost": RB, "maybe": RB, "perhaps": RB,
+	"probably": RB, "definitely": RB, "actually": RB, "literally": RB,
+	"basically": RB, "especially": RB, "properly": RB, "correctly": RB,
+	"well": RB, "fast": RB, "instead": RB, "otherwise": RB, "forever": RB,
+	"please": UH, "thanks": UH, "thank": UH, "sorry": UH, "hello": UH,
+	"ok": UH, "okay": UH, "wow": UH, "ugh": UH, "yes": UH, "yeah": UH,
+
+	// adjectives
+	"good": JJ, "great": JJ, "nice": JJ, "awesome": JJ, "amazing": JJ,
+	"excellent": JJ, "perfect": JJ, "best": JJ, "better": JJ, "bad": JJ,
+	"worse": JJ, "worst": JJ, "terrible": JJ, "horrible": JJ, "awful": JJ,
+	"useless": JJ, "annoying": JJ, "frustrating": JJ, "slow": JJ,
+	"quick": JJ, "easy": JJ, "hard": JJ, "difficult": JJ, "simple": JJ,
+	"clean": JJ, "beautiful": JJ, "ugly": JJ, "new": JJ, "old": JJ,
+	"latest": JJ, "recent": JJ, "last": JJ, "first": JJ, "previous": JJ,
+	"current": JJ, "random": JJ, "blank": JJ, "black": JJ, "white": JJ,
+	"empty": JJ, "full": JJ, "free": JJ, "paid": JJ, "premium": JJ,
+	"stable": JJ, "unstable": JJ, "responsive": JJ, "unresponsive": JJ,
+	"unusable": JJ, "unable": JJ, "impossible": JJ, "possible": JJ,
+	"many": JJ, "much": JJ, "more": JJ, "most": JJ, "less": JJ,
+	"least": JJ, "few": JJ, "several": JJ, "other": JJ, "same": JJ,
+	"different": JJ, "certain": JJ, "whole": JJ, "entire": JJ, "big": JJ,
+	"small": JJ, "long": JJ, "short": JJ, "high": JJ, "low": JJ,
+	"dark": JJ, "light": JJ, "wrong": JJ, "right": JJ, "correct": JJ,
+	"incorrect": JJ, "missing": JJ, "available": JJ, "unavailable": JJ,
+	"visible": JJ, "invisible": JJ, "broken": JJ, "frozen": JJ,
+	"stuck": JJ, "corrupt": JJ, "corrupted": JJ, "main": JJ, "non": JJ,
+
+	// high-frequency verbs (base/present)
+	"open": VB, "close": VB, "launch": VB, "start": VB, "stop": VB,
+	"install": VB, "reinstall": VB, "uninstall": VB, "update": VB,
+	"upgrade": VB, "download": VB, "upload": VB, "sync": VB, "load": VB,
+	"reload": VB, "save": VB, "delete": VB, "remove": VB, "move": VB,
+	"send": VB, "receive": VB, "fetch": VB, "refresh": VB, "connect": VB,
+	"disconnect": VB, "login": VB, "logout": VB, "register": VB,
+	"sign": VB, "verify": VB, "search": VB, "find": VB, "play": VB,
+	"pause": VB, "record": VB, "scroll": VB, "swipe": VB, "tap": VB,
+	"click": VB, "press": VB, "type": VB, "write": VB, "read": VB,
+	"edit": VB, "share": VB, "post": VB, "reply": VB, "forward": VB,
+	"import": VB, "export": VB, "browse": VB, "stream": VB, "notify": VB,
+	"show": VB, "display": VB, "render": VB, "take": VB, "add": VB,
+	"create": VB, "change": VB, "switch": VB, "select": VB, "choose": VB,
+	"view": VB, "watch": VB, "listen": VB, "check": VB, "enable": VB,
+	"disable": VB, "turn": VB, "use": VB, "work": VB, "run": VB,
+	"try": VB, "keep": VB, "get": VB, "make": VB, "go": VB, "come": VB,
+	"see": VB, "say": VB, "tell": VB, "need": VB, "want": VB, "help": VB,
+	"fix": VB, "solve": VB, "support": VB, "respond": VB, "appear": VB,
+	"disappear": VB, "happen": VB, "return": VB, "crash": VB, "fail": VB,
+	"freeze": VB, "hang": VB, "break": VB, "flip": VB, "rotate": VB,
+	"zoom": VB, "resize": VB, "log": VB, "track": VB, "locate": VB,
+	"navigate": VB, "transfer": VB, "restore": VB, "backup": VB,
+	"poll": VB, "give": VB, "let": VB, "put": VB, "set": VB, "call": VB,
+	"contact": VB, "love": VB, "like": VB, "hate": VB, "miss": VB,
+	"lose": VB, "wait": VB, "ask": VB, "know": VB, "think": VB,
+	"contain": VB, "include": VB, "describe": VB, "prevent": VB,
+	"complete": VB, "require": VB, "allow": VB, "cause": VB,
+	"uninstalled": VBD, "crashed": VBD, "failed": VBD, "stopped": VBD,
+	"broke": VBD, "froze": VBD, "went": VBD, "got": VBD, "took": VBD,
+	"said": VBD, "made": VBD, "sent": VBD, "lost": VBD, "kept": VBD,
+	"found": VBD, "saw": VBD, "came": VBD, "left": VBD, "gave": VBD,
+	"wrote": VBD, "chose": VBD, "hung": VBD,
+	"gone": VBN, "done": VBN, "taken": VBN, "seen": VBN, "shown": VBN,
+	"written": VBN, "chosen": VBN, "given": VBN,
+	"works": VBZ, "crashes": VBZ, "fails": VBZ, "keeps": VBZ,
+	"says": VBZ, "goes": VBZ, "gets": VBZ, "makes": VBZ, "takes": VBZ,
+	"shows": VBZ, "opens": VBZ, "closes": VBZ, "loads": VBZ,
+	"freezes": VBZ, "hangs": VBZ, "stops": VBZ, "starts": VBZ,
+	"appears": VBZ, "happens": VBZ, "sends": VBZ, "receives": VBZ,
+	"polls": VBZ, "syncs": VBZ, "plays": VBZ, "saves": VBZ,
+	"deletes": VBZ, "tries": VBZ, "needs": VBZ, "wants": VBZ,
+	"lets": VBZ, "comes": VBZ, "turns": VBZ, "seems": VBZ, "looks": VBZ,
+
+	// high-frequency nouns
+	"app": NN, "application": NN, "phone": NN, "tablet": NN, "device": NN,
+	"screen": NN, "button": NN, "menu": NN, "page": NN, "tab": NN,
+	"list": NN, "window": NN, "widget": NN, "icon": NN, "keyboard": NN,
+	"notification": NN, "message": NN, "mail": NN, "email": NN,
+	"inbox": NN, "outbox": NN, "draft": NN, "folder": NN, "account": NN,
+	"password": NN, "username": NN, "user": NN, "profile": NN,
+	"setting": NN, "option": NN, "preference": NN, "feature": NN,
+	"version": NN, "release": NN, "file": NN, "photo": NN, "picture": NN,
+	"image": NN, "video": NN, "audio": NN, "music": NN, "song": NN,
+	"podcast": NN, "episode": NN, "camera": NN, "gallery": NN,
+	"album": NN, "text": NN, "sms": NN, "mms": NN,
+	"chat": NN, "conversation": NN, "group": NN, "server": NN,
+	"network": NN, "internet": NN, "wifi": NN, "data": NN,
+	"connection": NN, "signal": NN, "bluetooth": NN, "gps": NN,
+	"location": NN, "map": NN, "direction": NN, "battery": NN,
+	"memory": NN, "storage": NN, "card": NN, "space": NN, "cloud": NN,
+	"link": NN, "url": NN, "site": NN, "website": NN, "browser": NN,
+	"feed": NN, "article": NN, "news": NN, "story": NN, "comment": NN,
+	"review": NN, "rating": NN, "star": NN, "tweet": NN, "timeline": NN,
+	"certificate": NN, "key": NN, "encryption": NN, "security": NN,
+	"permission": NN, "theme": NN, "font": NN, "language": NN,
+	"sound": NN, "volume": NN, "alarm": NN, "clock": NN, "calendar": NN,
+	"event": NN, "reminder": NN, "task": NN, "note": NN, "book": NN,
+	"reader": NN, "library": NN, "chapter": NN, "puzzle": NN,
+	"crossword": NN, "game": NN, "level": NN, "score": NN, "stat": NN,
+	"statistic": NN, "cache": NN, "database": NN, "trace": NN,
+	"socket": NN, "pointer": NN, "null": NN, "timeout": NN,
+	"session": NN, "token": NN, "layout": NN, "attachment": NN,
+	"signature": NN, "filter": NN, "label": NN, "archive": NN,
+	"trash": NN, "spam": NN, "deck": NN, "flashcard": NN, "route": NN,
+	"bus": NN, "arrival": NN, "torrent": NN, "lockscreen": NN,
+	"lock": NN, "pin": NN, "gesture": NN, "blog": NN, "media": NN,
+	"player": NN, "subtitle": NN, "playlist": NN, "queue": NN,
+	"error": NN, "bug": NN, "problem": NN, "issue": NN, "fault": NN,
+	"glitch": NN, "exception": NN, "defect": NN, "failure": NN,
+	"crashing": NN, "solution": NN, "time": NN, "times": NNS, "day": NN,
+	"week": NN, "month": NN, "year": NN, "hour": NN, "minute": NN,
+	"second": NN, "moment": NN, "middle": NN, "end": NN, "beginning": NN,
+	"top": NN, "bottom": NN, "side": NN, "front": NN, "inside": NN,
+	"outside": NN, "thing": NN, "stuff": NN, "way": NN, "lot": NN,
+	"bit": NN, "part": NN, "people": NNS, "developer": NN, "dev": NN,
+	"team": NN, "company": NN, "contacts": NNS, "photos": NNS,
+	"pictures": NNS, "messages": NNS, "emails": NNS, "files": NNS,
+	"settings": NNS, "options": NNS, "bugs": NNS, "errors": NNS,
+	"problems": NNS, "issues": NNS, "notifications": NNS,
+	"registration": NN, "history": NN,
+	"widget_id": NN, "sd": NN, "kind": NN,
+
+	// proper nouns: vendors, OS, app names from the dataset
+	"google": NNP, "android": NNP, "samsung": NNP, "nexus": NNP,
+	"pixel": NNP, "xiaomi": NNP, "huawei": NNP, "galaxy": NNP,
+	"gmail": NNP, "twitter": NNP, "reddit": NNP, "wordpress": NNP,
+	"twidere": NNP, "antennapod": NNP, "frostwire": NNP,
+	"ankidroid": NNP, "k9": NNP, "imgur": NNP, "nougat": NNP,
+	"seriesguide": NNP, "cgeo": NNP, "solitaire": NNP, "fbreader": NNP,
+	"focal": NNP, "onebusaway": NNP, "acdisplay": NNP, "shortyz": NNP,
+}
+
+// verbLemmas is the set of base-form verbs. It backs the contextual rules
+// and lets phrase extraction validate that a method-name head word is a verb.
+var verbLemmas = buildVerbLemmas()
+
+func buildVerbLemmas() map[string]struct{} {
+	m := make(map[string]struct{}, 160)
+	for w, tag := range lexiconEntries {
+		if tag == VB {
+			m[w] = struct{}{}
+		}
+	}
+	// Verbs that appear in code identifiers but whose review-lexicon reading
+	// is a noun.
+	for _, w := range []string{
+		"list", "view", "filter", "cache", "queue", "archive", "label",
+		"comment", "review", "map", "text", "note", "score", "stream",
+		"group", "mail", "email", "star", "pin", "bookmark", "mark",
+		"clear", "reset", "init", "initialize", "handle", "process",
+		"parse", "build", "compute", "calculate", "validate", "resolve",
+		"dispatch", "bind", "unbind", "attach", "detach", "insert",
+		"query", "execute", "apply", "commit", "rollback", "toggle",
+		"expand", "collapse", "hide", "dismiss", "cancel", "retry",
+		"schedule", "observe", "subscribe", "publish", "emit", "format",
+		"convert", "encode", "decode", "encrypt", "decrypt", "compress",
+		"extract", "generate", "prepare", "setup", "configure", "request",
+	} {
+		m[w] = struct{}{}
+	}
+	return m
+}

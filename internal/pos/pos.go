@@ -1,0 +1,256 @@
+// Package pos implements a rule-and-lexicon part-of-speech tagger for app
+// review English. ReviewSolver needs POS tags to build parse trees and typed
+// dependencies (§3.2.1), to distinguish verb from noun uses of the same word
+// ("contact me" vs "import contact", §3.2.4), and to extract verb/noun
+// phrases.
+//
+// The tagger follows the classic Brill architecture: a lexicon assigns the
+// most likely tag per word, morphological suffix rules tag unknown words,
+// and a small set of contextual transformation rules repairs tags using the
+// neighbouring context (e.g. a verb-lexicon word after a determiner becomes
+// a noun).
+package pos
+
+import (
+	"strings"
+
+	"reviewsolver/internal/textproc"
+)
+
+// Tag is a part-of-speech tag. The set is the Penn Treebank subset that the
+// downstream chunker consumes.
+type Tag string
+
+// Tags used by the tagger.
+const (
+	NN   Tag = "NN"   // noun, singular
+	NNS  Tag = "NNS"  // noun, plural
+	NNP  Tag = "NNP"  // proper noun
+	VB   Tag = "VB"   // verb, base form
+	VBD  Tag = "VBD"  // verb, past tense
+	VBG  Tag = "VBG"  // verb, gerund
+	VBN  Tag = "VBN"  // verb, past participle
+	VBP  Tag = "VBP"  // verb, non-3rd person singular present
+	VBZ  Tag = "VBZ"  // verb, 3rd person singular present
+	JJ   Tag = "JJ"   // adjective
+	RB   Tag = "RB"   // adverb
+	DT   Tag = "DT"   // determiner
+	IN   Tag = "IN"   // preposition / subordinating conjunction
+	PRP  Tag = "PRP"  // personal pronoun
+	PRPS Tag = "PRP$" // possessive pronoun
+	CC   Tag = "CC"   // coordinating conjunction
+	MD   Tag = "MD"   // modal
+	TO   Tag = "TO"   // "to"
+	CD   Tag = "CD"   // cardinal number
+	UH   Tag = "UH"   // interjection
+	NEG  Tag = "NEG"  // negation ("not", "n't", "never", "cannot")
+	WP   Tag = "WP"   // wh-pronoun
+	WRB  Tag = "WRB"  // wh-adverb
+	EX   Tag = "EX"   // existential there
+	SYM  Tag = "SYM"  // punctuation / symbols
+)
+
+// IsVerb reports whether the tag is any verb form.
+func (t Tag) IsVerb() bool {
+	switch t {
+	case VB, VBD, VBG, VBN, VBP, VBZ:
+		return true
+	}
+	return false
+}
+
+// IsNoun reports whether the tag is any noun form.
+func (t Tag) IsNoun() bool {
+	switch t {
+	case NN, NNS, NNP:
+		return true
+	}
+	return false
+}
+
+// TaggedToken pairs a token with its POS tag.
+type TaggedToken struct {
+	textproc.Token
+	Tag Tag
+}
+
+// Tagger assigns POS tags to token sequences.
+type Tagger struct {
+	lexicon map[string]Tag
+}
+
+// NewTagger returns a Tagger over the built-in review-English lexicon,
+// optionally extended with extra proper nouns (app names, widget words).
+func NewTagger(properNouns ...string) *Tagger {
+	t := &Tagger{lexicon: make(map[string]Tag, len(lexiconEntries))}
+	for w, tag := range lexiconEntries {
+		t.lexicon[w] = tag
+	}
+	for _, w := range properNouns {
+		t.lexicon[strings.ToLower(w)] = NNP
+	}
+	return t
+}
+
+// TagSentence tokenizes and tags a sentence.
+func (tg *Tagger) TagSentence(sentence string) []TaggedToken {
+	return tg.Tag(textproc.Tokenize(sentence))
+}
+
+// Tag assigns a POS tag to every token, then applies contextual repairs.
+func (tg *Tagger) Tag(tokens []textproc.Token) []TaggedToken {
+	out := make([]TaggedToken, len(tokens))
+	for i, tok := range tokens {
+		out[i] = TaggedToken{Token: tok, Tag: tg.initialTag(tok)}
+	}
+	tg.applyContextRules(out)
+	return out
+}
+
+// initialTag assigns the lexicon tag or falls back to morphology.
+func (tg *Tagger) initialTag(tok textproc.Token) Tag {
+	switch tok.Kind {
+	case textproc.Number:
+		return CD
+	case textproc.Punct, textproc.Emoji:
+		return SYM
+	}
+	w := tok.Lower
+	// Contractions: "doesn't", "can't", "won't" are modal/aux + negation;
+	// tag the unit as NEG because the dependency extractor treats the whole
+	// token as a negation of the following verb.
+	if strings.HasSuffix(w, "n't") {
+		return NEG
+	}
+	if tag, ok := tg.lexicon[w]; ok {
+		return tag
+	}
+	return suffixTag(w)
+}
+
+// suffixTag guesses the tag of an out-of-lexicon word from its morphology.
+func suffixTag(w string) Tag {
+	switch {
+	case strings.HasSuffix(w, "ing") && len(w) > 4:
+		return VBG
+	case strings.HasSuffix(w, "ed") && len(w) > 3:
+		return VBD
+	case strings.HasSuffix(w, "ly") && len(w) > 3:
+		return RB
+	case strings.HasSuffix(w, "tion") || strings.HasSuffix(w, "sion"),
+		strings.HasSuffix(w, "ment"), strings.HasSuffix(w, "ness"),
+		strings.HasSuffix(w, "ity"), strings.HasSuffix(w, "ence"),
+		strings.HasSuffix(w, "ance"), strings.HasSuffix(w, "ship"):
+		return NN
+	case strings.HasSuffix(w, "able") || strings.HasSuffix(w, "ible"),
+		strings.HasSuffix(w, "ful"), strings.HasSuffix(w, "less"),
+		strings.HasSuffix(w, "ous"), strings.HasSuffix(w, "ive"),
+		strings.HasSuffix(w, "al") && len(w) > 4:
+		return JJ
+	case strings.HasSuffix(w, "s") && len(w) > 3 && !strings.HasSuffix(w, "ss"):
+		return NNS
+	default:
+		return NN
+	}
+}
+
+// applyContextRules runs Brill-style transformation rules in order.
+func (tg *Tagger) applyContextRules(toks []TaggedToken) {
+	for i := range toks {
+		w := toks[i].Lower
+		prev, next := prevTag(toks, i), nextTag(toks, i)
+
+		switch {
+		// DT/PRP$/JJ + verb-tagged word → noun reading ("the reply", "my update").
+		case (prev == DT || prev == PRPS || prev == JJ || prev == CD) &&
+			(toks[i].Tag == VB || toks[i].Tag == VBP || toks[i].Tag == VBZ):
+			if toks[i].Tag == VBZ {
+				toks[i].Tag = NNS
+			} else {
+				toks[i].Tag = NN
+			}
+		// TO/MD + noun-or-ambiguous word → base verb ("to update", "can't sync").
+		case (prev == TO || prev == MD || prev == NEG) &&
+			(toks[i].Tag == NN || toks[i].Tag == VBZ || toks[i].Tag == VBP):
+			if _, verbish := verbLemmas[strings.TrimSuffix(w, "s")]; verbish || toks[i].Tag != NN {
+				toks[i].Tag = VB
+			}
+		// PRP + ambiguous noun → present verb ("i crash", "it errors").
+		case prev == PRP && toks[i].Tag == NN:
+			if _, verbish := verbLemmas[w]; verbish {
+				toks[i].Tag = VBP
+			}
+		// Sentence-initial ambiguous word followed by a noun phrase → imperative
+		// verb ("fix the bug", "update app").
+		case i == 0 && toks[i].Tag == NN && (next == DT || next == PRPS || next == NN || next == NNS):
+			if _, verbish := verbLemmas[w]; verbish {
+				toks[i].Tag = VB
+			}
+		// A verb-lexicon word right before a UI-widget noun is being used
+		// as that widget's purpose modifier ("reply button", "save menu").
+		case toks[i].Tag == VB && next == NN && i+1 < len(toks) && isUINoun(toks[i+1].Lower):
+			toks[i].Tag = NN
+		// A base-form verb right after another verb or a singular noun,
+		// with no noun phrase following, is being used as a noun
+		// ("find contact", "the phone call failed").
+		case toks[i].Tag == VB && (prev.IsVerb() || prev == NN) && !nounPhraseFollows(next):
+			toks[i].Tag = NN
+		// VBD directly before a noun is usually a participle modifier
+		// ("saved picture gets flipped" — keep VBD for the first only if
+		// sentence-initial subjectless; otherwise treat as VBN).
+		case toks[i].Tag == VBD && next == NN && prev != PRP && prev != NN && prev != NNS && i > 0:
+			toks[i].Tag = VBN
+		}
+	}
+	// Second pass: "have/has/had + VBD" → VBN; "is/are/was/were + VBD" → VBN.
+	for i := 1; i < len(toks); i++ {
+		if toks[i].Tag != VBD {
+			continue
+		}
+		p := toks[i-1].Lower
+		switch p {
+		case "have", "has", "had", "is", "are", "was", "were", "been", "be", "gets", "get", "got":
+			toks[i].Tag = VBN
+		}
+	}
+}
+
+// isUINoun reports whether a word names a GUI widget kind.
+func isUINoun(w string) bool {
+	switch w {
+	case "button", "buttons", "menu", "tab", "icon", "screen", "page", "key", "widget":
+		return true
+	}
+	return false
+}
+
+// nounPhraseFollows reports whether the next tag can begin a noun phrase,
+// which would keep a verb reading plausible for the current token.
+func nounPhraseFollows(next Tag) bool {
+	switch next {
+	case DT, PRPS, JJ, NN, NNS, NNP, CD, PRP:
+		return true
+	}
+	return false
+}
+
+func prevTag(toks []TaggedToken, i int) Tag {
+	if i == 0 {
+		return ""
+	}
+	return toks[i-1].Tag
+}
+
+func nextTag(toks []TaggedToken, i int) Tag {
+	if i+1 >= len(toks) {
+		return ""
+	}
+	return toks[i+1].Tag
+}
+
+// LooksLikeVerb reports whether a lower-cased word is in the tagger's verb
+// lemma set. Phrase extraction uses this to validate method-name verbs.
+func LooksLikeVerb(word string) bool {
+	_, ok := verbLemmas[word]
+	return ok
+}

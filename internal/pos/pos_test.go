@@ -1,0 +1,168 @@
+package pos
+
+import (
+	"testing"
+
+	"reviewsolver/internal/textproc"
+)
+
+func tagsOf(tg *Tagger, sentence string) []Tag {
+	tagged := tg.TagSentence(sentence)
+	out := make([]Tag, len(tagged))
+	for i, t := range tagged {
+		out[i] = t.Tag
+	}
+	return out
+}
+
+func TestTagSentenceBasics(t *testing.T) {
+	tg := NewTagger()
+	tests := []struct {
+		sentence string
+		want     []Tag
+	}{
+		{"the app crashes", []Tag{DT, NN, VBZ}},
+		{"i cannot register", []Tag{PRP, NEG, VB}},
+		{"sync does not work", []Tag{VB, VBZ, NEG, VB}},
+		{"send SMS", []Tag{VB, NN}},
+		{"the reply button", []Tag{DT, NN, NN}},
+		{"404 error", []Tag{CD, NN}},
+	}
+	for _, tt := range tests {
+		if got := tagsOf(tg, tt.sentence); !tagsEqual(got, tt.want) {
+			t.Errorf("TagSentence(%q) = %v, want %v", tt.sentence, got, tt.want)
+		}
+	}
+}
+
+func tagsEqual(a, b []Tag) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestContraction(t *testing.T) {
+	tg := NewTagger()
+	tagged := tg.TagSentence("it doesn't work")
+	if tagged[1].Tag != NEG {
+		t.Errorf("doesn't tagged %s, want NEG", tagged[1].Tag)
+	}
+	if tagged[2].Tag != VB {
+		t.Errorf("work after negation tagged %s, want VB", tagged[2].Tag)
+	}
+}
+
+func TestVerbNounDisambiguation(t *testing.T) {
+	tg := NewTagger()
+
+	// "contact" as verb (imperative before object).
+	tagged := tg.TagSentence("contact the developer")
+	if !tagged[0].Tag.IsVerb() {
+		t.Errorf("imperative 'contact' tagged %s, want verb", tagged[0].Tag)
+	}
+
+	// "contact" as noun after determiner-ish context.
+	tagged = tg.TagSentence("i tried to find my contact")
+	last := tagged[len(tagged)-1]
+	if !last.Tag.IsNoun() {
+		t.Errorf("'my contact' tagged %s, want noun", last.Tag)
+	}
+
+	// "update" as noun: "the latest update".
+	tagged = tg.TagSentence("the latest update broke everything")
+	if !tagged[2].Tag.IsNoun() {
+		t.Errorf("'the latest update' tagged %s, want noun", tagged[2].Tag)
+	}
+
+	// "update" as verb after "to".
+	tagged = tg.TagSentence("i want to update the app")
+	if tagged[3].Tag != VB {
+		t.Errorf("'to update' tagged %s, want VB", tagged[3].Tag)
+	}
+}
+
+func TestUnknownWordMorphology(t *testing.T) {
+	tg := NewTagger()
+	tests := []struct {
+		word string
+		want Tag
+	}{
+		{"flibbering", VBG},
+		{"flibbered", VBD},
+		{"flibberly", RB},
+		{"flibberation", NN},
+		{"flibberable", JJ},
+		{"flibbers", NNS},
+		{"flibber", NN},
+	}
+	for _, tt := range tests {
+		tagged := tg.Tag(textproc.Tokenize(tt.word))
+		if tagged[0].Tag != tt.want {
+			t.Errorf("suffix tag of %q = %s, want %s", tt.word, tagged[0].Tag, tt.want)
+		}
+	}
+}
+
+func TestProperNounInjection(t *testing.T) {
+	tg := NewTagger("Seafile")
+	tagged := tg.TagSentence("seafile crashes")
+	if tagged[0].Tag != NNP {
+		t.Errorf("injected proper noun tagged %s, want NNP", tagged[0].Tag)
+	}
+}
+
+func TestPassiveParticiple(t *testing.T) {
+	tg := NewTagger()
+	tagged := tg.TagSentence("the picture gets flipped")
+	last := tagged[len(tagged)-1]
+	if last.Tag != VBN {
+		t.Errorf("'gets flipped' participle tagged %s, want VBN", last.Tag)
+	}
+}
+
+func TestTagKinds(t *testing.T) {
+	tg := NewTagger()
+	tagged := tg.TagSentence("crash !!! 42 times")
+	if tagged[1].Tag != SYM {
+		t.Errorf("punct tagged %s, want SYM", tagged[1].Tag)
+	}
+	if tagged[2].Tag != CD {
+		t.Errorf("number tagged %s, want CD", tagged[2].Tag)
+	}
+}
+
+func TestIsVerbIsNoun(t *testing.T) {
+	for _, tag := range []Tag{VB, VBD, VBG, VBN, VBP, VBZ} {
+		if !tag.IsVerb() {
+			t.Errorf("%s.IsVerb() = false", tag)
+		}
+		if tag.IsNoun() {
+			t.Errorf("%s.IsNoun() = true", tag)
+		}
+	}
+	for _, tag := range []Tag{NN, NNS, NNP} {
+		if !tag.IsNoun() {
+			t.Errorf("%s.IsNoun() = false", tag)
+		}
+		if tag.IsVerb() {
+			t.Errorf("%s.IsVerb() = true", tag)
+		}
+	}
+}
+
+func TestLooksLikeVerb(t *testing.T) {
+	for _, w := range []string{"send", "fetch", "query", "toggle"} {
+		if !LooksLikeVerb(w) {
+			t.Errorf("LooksLikeVerb(%q) = false", w)
+		}
+	}
+	if LooksLikeVerb("banana") {
+		t.Error("LooksLikeVerb(banana) = true")
+	}
+}

@@ -1,0 +1,299 @@
+// Package qa implements the general-task knowledge base of §4.2.2: a Stack
+// Overflow-style Q&A corpus (question titles + Java code snippets), a
+// javalang-like snippet parser that extracts the framework APIs each
+// snippet calls, and the Algorithm 2 index that maps a review verb phrase
+// to the top-k framework APIs developers use for that task.
+//
+// The original downloads 1.27M Android questions from the Stack Exchange
+// dump; this reproduction generates a corpus from task templates over the
+// same SDK catalog the synthetic apps call, so the title→API frequency
+// statistics are meaningful for the tasks reviews complain about.
+package qa
+
+import (
+	"sort"
+	"strings"
+
+	"reviewsolver/internal/sdk"
+	"reviewsolver/internal/textproc"
+)
+
+// Question is one Q&A thread: a short title and the code snippets found in
+// the question body and its answers.
+type Question struct {
+	// Title summarizes the problem ("How to download a file in Android").
+	Title string
+	// Snippets holds the raw Java code blocks (<code> contents).
+	Snippets []string
+}
+
+// APIRef identifies a framework API extracted from a snippet.
+type APIRef struct {
+	Class  string
+	Method string
+}
+
+// Key returns "class.method".
+func (r APIRef) Key() string { return r.Class + "." + r.Method }
+
+// ParseSnippet extracts the framework API calls from a Java-like code
+// snippet, the role javalang plays in the paper (§4.2.2 Step 2). It tracks
+// `Type var = new Type(...)` and `Type var = ...` declarations to resolve
+// receiver variables to classes, and resolves short class names against the
+// SDK catalog.
+func ParseSnippet(snippet string, catalog *sdk.Catalog) []APIRef {
+	shortToFull := shortClassIndex(catalog)
+	varType := make(map[string]string)
+	var out []APIRef
+	seen := make(map[string]struct{})
+	for _, line := range strings.Split(snippet, "\n") {
+		line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), ";"))
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		// Declarations: "Type name = ..." (optionally "new Type(...)").
+		if class, name, rest, ok := parseDecl(line); ok {
+			if full, known := shortToFull[class]; known {
+				varType[name] = full
+			}
+			line = rest // the initializer may itself contain a call
+			if line == "" {
+				continue
+			}
+		}
+		// Calls: receiver.method(...) — receiver is a variable or a class.
+		for _, call := range parseCalls(line) {
+			class := varType[call.recv]
+			if class == "" {
+				if full, known := shortToFull[call.recv]; known {
+					class = full
+				}
+			}
+			if class == "" {
+				continue
+			}
+			if _, known := catalog.LookupAPI(class, call.method); !known {
+				continue
+			}
+			ref := APIRef{Class: class, Method: call.method}
+			if _, dup := seen[ref.Key()]; dup {
+				continue
+			}
+			seen[ref.Key()] = struct{}{}
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+func shortClassIndex(catalog *sdk.Catalog) map[string]string {
+	idx := make(map[string]string)
+	for _, a := range catalog.APIs() {
+		short := a.ShortClass()
+		idx[short] = a.Class
+		// Inner classes are written without the '$' in snippets
+		// ("AlertDialogBuilder" for AlertDialog$Builder).
+		if strings.ContainsRune(short, '$') {
+			idx[strings.ReplaceAll(short, "$", "")] = a.Class
+		}
+	}
+	return idx
+}
+
+// parseDecl recognizes "Type name = rest" and returns the parts.
+func parseDecl(line string) (class, name, rest string, ok bool) {
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return "", "", "", false
+	}
+	left := strings.Fields(strings.TrimSpace(line[:eq]))
+	if len(left) != 2 {
+		return "", "", "", false
+	}
+	class, name = left[0], left[1]
+	if !isIdentifier(class) || !isIdentifier(name) || !isUpperStart(class) {
+		return "", "", "", false
+	}
+	rest = strings.TrimSpace(line[eq+1:])
+	rest = strings.TrimPrefix(rest, "new ")
+	return class, name, rest, true
+}
+
+type callExpr struct {
+	recv, method string
+}
+
+// parseCalls finds "recv.method(" occurrences in a line.
+func parseCalls(line string) []callExpr {
+	var out []callExpr
+	for i := 0; i < len(line); i++ {
+		if line[i] != '(' {
+			continue
+		}
+		// Walk back over the method name.
+		j := i
+		for j > 0 && isIdentChar(line[j-1]) {
+			j--
+		}
+		if j == i || j == 0 || line[j-1] != '.' {
+			continue
+		}
+		method := line[j:i]
+		// Walk back over the receiver.
+		k := j - 1
+		for k > 0 && isIdentChar(line[k-1]) {
+			k--
+		}
+		recv := line[k : j-1]
+		if recv == "" {
+			continue
+		}
+		out = append(out, callExpr{recv: recv, method: method})
+	}
+	return out
+}
+
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func isUpperStart(s string) bool { return s != "" && s[0] >= 'A' && s[0] <= 'Z' }
+
+// Index is the Algorithm 2 lookup structure: question titles with their
+// extracted framework APIs.
+type Index struct {
+	catalog   *sdk.Catalog
+	questions []indexedQuestion
+}
+
+type indexedQuestion struct {
+	titleWords map[string]struct{}
+	apis       []APIRef
+}
+
+// NewIndex parses every question's snippets and builds the index.
+func NewIndex(catalog *sdk.Catalog, questions []Question) *Index {
+	idx := &Index{catalog: catalog}
+	for _, q := range questions {
+		iq := indexedQuestion{titleWords: make(map[string]struct{})}
+		for _, w := range textproc.Words(q.Title) {
+			iq.titleWords[w] = struct{}{}
+		}
+		seen := make(map[string]struct{})
+		for _, sn := range q.Snippets {
+			for _, ref := range ParseSnippet(sn, catalog) {
+				if _, dup := seen[ref.Key()]; dup {
+					continue
+				}
+				seen[ref.Key()] = struct{}{}
+				iq.apis = append(iq.apis, ref)
+			}
+		}
+		if len(iq.apis) > 0 {
+			idx.questions = append(idx.questions, iq)
+		}
+	}
+	return idx
+}
+
+// Len returns the number of indexed questions.
+func (x *Index) Len() int { return len(x.questions) }
+
+// TopAPIs implements Algorithm 2: find the questions whose titles contain
+// the verb phrase's words, count the framework APIs in their snippets, and
+// return the k most frequent APIs (the paper sets k = 5).
+func (x *Index) TopAPIs(verbPhrase []string, k int) []APIRef {
+	if len(verbPhrase) == 0 || k <= 0 {
+		return nil
+	}
+	counts := make(map[string]int)
+	byKey := make(map[string]APIRef)
+	for _, q := range x.questions {
+		if !titleContains(q.titleWords, verbPhrase) {
+			continue
+		}
+		for _, ref := range q.apis {
+			counts[ref.Key()]++
+			byKey[ref.Key()] = ref
+		}
+	}
+	if len(counts) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if k > len(keys) {
+		k = len(keys)
+	}
+	out := make([]APIRef, k)
+	for i := 0; i < k; i++ {
+		out[i] = byKey[keys[i]]
+	}
+	return out
+}
+
+// titleContains reports whether every content word of the phrase appears in
+// the title (§4.2.2: "identify the questions whose titles contain the same
+// verb phrase"). Inflection differences are tolerated via shared stems.
+func titleContains(title map[string]struct{}, phrase []string) bool {
+	for _, w := range phrase {
+		if textproc.IsStopword(w) {
+			continue
+		}
+		if _, ok := title[w]; ok {
+			continue
+		}
+		matched := false
+		for tw := range title {
+			if sameStem(tw, w) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return false
+		}
+	}
+	return true
+}
+
+func sameStem(a, b string) bool {
+	return stem(a) == stem(b)
+}
+
+func stem(w string) string {
+	switch {
+	case strings.HasSuffix(w, "ing") && len(w) > 5:
+		w = w[:len(w)-3]
+	case strings.HasSuffix(w, "ed") && len(w) > 4:
+		w = w[:len(w)-2]
+	case strings.HasSuffix(w, "es") && len(w) > 4:
+		w = w[:len(w)-2]
+	case strings.HasSuffix(w, "s") && len(w) > 3 && !strings.HasSuffix(w, "ss"):
+		w = w[:len(w)-1]
+	}
+	if len(w) > 3 && w[len(w)-1] == w[len(w)-2] && !strings.ContainsRune("aeiou", rune(w[len(w)-1])) {
+		w = w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,194 @@
+// Package report turns a batch of localization results into the artifact a
+// developer actually consumes: a per-class triage report ranking the
+// problematic classes across a whole review corpus, with the reviews,
+// context types, and recommended methods behind each class, plus the
+// device/compatibility appendix the paper's §6.6 proposes for reviews that
+// cannot be localized in code.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/core"
+)
+
+// ClassEntry aggregates the evidence against one class.
+type ClassEntry struct {
+	// Class is the fully qualified class name.
+	Class string
+	// Reviews counts the distinct reviews mapped to the class.
+	Reviews int
+	// Contexts counts mapped reviews per context-type name.
+	Contexts map[string]int
+	// Methods are the specific methods recommended within the class.
+	Methods []string
+	// Samples holds up to three example review texts.
+	Samples []string
+}
+
+// Report is a triage summary over one app's review corpus.
+type Report struct {
+	// App identifies the analyzed app.
+	App string
+	// Generated is the report creation time.
+	Generated time.Time
+	// TotalReviews / ErrorReviews / Localized are the funnel counts.
+	TotalReviews int
+	ErrorReviews int
+	Localized    int
+	// Classes are the ranked per-class entries (most implicated first).
+	Classes []ClassEntry
+	// Devices is the compatibility appendix: device/OS mentions found in
+	// error reviews that produced no code mapping.
+	Devices map[string]int
+}
+
+// Builder accumulates localization results into a Report.
+type Builder struct {
+	solver *core.Solver
+	app    *apk.App
+	rep    *Report
+	acc    map[string]*ClassEntry
+	now    func() time.Time
+}
+
+// NewBuilder starts a report for one app.
+func NewBuilder(solver *core.Solver, app *apk.App) *Builder {
+	return &Builder{
+		solver: solver,
+		app:    app,
+		rep: &Report{
+			App:     fmt.Sprintf("%s (%s)", app.Name, app.Package),
+			Devices: make(map[string]int),
+		},
+		acc: make(map[string]*ClassEntry),
+		now: time.Now,
+	}
+}
+
+// Add localizes one review and folds it into the report.
+func (b *Builder) Add(text string, publishedAt time.Time) *core.Result {
+	b.rep.TotalReviews++
+	res := b.solver.LocalizeReview(b.app, text, publishedAt)
+	if !res.IsError {
+		return res
+	}
+	// Resolved-issue praise is excluded (§6.6 tense filter).
+	if core.MentionsResolvedIssue(text) {
+		return res
+	}
+	b.rep.ErrorReviews++
+	if !res.Localized() {
+		// Compatibility appendix: record device mentions of unmapped
+		// error reviews.
+		for _, m := range core.DetectDevices(text) {
+			b.rep.Devices[m.Text]++
+		}
+		return res
+	}
+	b.rep.Localized++
+	for _, rc := range res.Ranked {
+		e, ok := b.acc[rc.Class]
+		if !ok {
+			e = &ClassEntry{Class: rc.Class, Contexts: make(map[string]int)}
+			b.acc[rc.Class] = e
+		}
+		e.Reviews++
+		for _, ctx := range rc.Contexts {
+			e.Contexts[ctx]++
+		}
+		for _, m := range rc.Methods {
+			if !contains(e.Methods, m) {
+				e.Methods = append(e.Methods, m)
+			}
+		}
+		if len(e.Samples) < 3 {
+			e.Samples = append(e.Samples, text)
+		}
+	}
+	return res
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Build finalizes and returns the report.
+func (b *Builder) Build() *Report {
+	b.rep.Generated = b.now()
+	b.rep.Classes = b.rep.Classes[:0]
+	for _, e := range b.acc {
+		sort.Strings(e.Methods)
+		b.rep.Classes = append(b.rep.Classes, *e)
+	}
+	sort.Slice(b.rep.Classes, func(i, j int) bool {
+		if b.rep.Classes[i].Reviews != b.rep.Classes[j].Reviews {
+			return b.rep.Classes[i].Reviews > b.rep.Classes[j].Reviews
+		}
+		return b.rep.Classes[i].Class < b.rep.Classes[j].Class
+	})
+	return b.rep
+}
+
+// Markdown renders the report as a developer-facing markdown document.
+func (r *Report) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Review triage — %s\n\n", r.App)
+	fmt.Fprintf(&sb, "generated %s\n\n", r.Generated.Format("2006-01-02 15:04"))
+	fmt.Fprintf(&sb, "- reviews analyzed: %d\n- function-error reviews: %d\n- localized to code: %d\n\n",
+		r.TotalReviews, r.ErrorReviews, r.Localized)
+
+	sb.WriteString("## Problematic classes\n\n")
+	if len(r.Classes) == 0 {
+		sb.WriteString("no classes implicated.\n")
+	}
+	for i, e := range r.Classes {
+		if i >= 20 {
+			fmt.Fprintf(&sb, "… and %d more classes\n", len(r.Classes)-i)
+			break
+		}
+		fmt.Fprintf(&sb, "### %d. `%s` — %d reviews\n\n", i+1, e.Class, e.Reviews)
+		if len(e.Methods) > 0 {
+			fmt.Fprintf(&sb, "methods: `%s`\n\n", strings.Join(e.Methods, "`, `"))
+		}
+		ctxs := make([]string, 0, len(e.Contexts))
+		for c := range e.Contexts {
+			ctxs = append(ctxs, c)
+		}
+		sort.Strings(ctxs)
+		for _, c := range ctxs {
+			fmt.Fprintf(&sb, "- via %s (%d)\n", c, e.Contexts[c])
+		}
+		for _, s := range e.Samples {
+			fmt.Fprintf(&sb, "> %s\n", s)
+		}
+		sb.WriteString("\n")
+	}
+
+	if len(r.Devices) > 0 {
+		sb.WriteString("## Compatibility appendix (unmapped error reviews)\n\n")
+		devices := make([]string, 0, len(r.Devices))
+		for d := range r.Devices {
+			devices = append(devices, d)
+		}
+		sort.Slice(devices, func(i, j int) bool {
+			if r.Devices[devices[i]] != r.Devices[devices[j]] {
+				return r.Devices[devices[i]] > r.Devices[devices[j]]
+			}
+			return devices[i] < devices[j]
+		})
+		for _, d := range devices {
+			fmt.Fprintf(&sb, "- %s (%d reviews)\n", d, r.Devices[d])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"reviewsolver/internal/core"
+	"reviewsolver/internal/synth"
+)
+
+func fixedNow() time.Time { return time.Date(2024, 6, 1, 12, 0, 0, 0, time.UTC) }
+
+func buildReport(t *testing.T, n int) *Report {
+	t.Helper()
+	data := synth.GenerateSample(3)
+	b := NewBuilder(core.New(), data.App)
+	b.now = fixedNow
+	for i, rv := range data.Reviews {
+		if i >= n {
+			break
+		}
+		b.Add(rv.Text, rv.PublishedAt)
+	}
+	return b.Build()
+}
+
+func TestReportFunnel(t *testing.T) {
+	rep := buildReport(t, 120)
+	if rep.TotalReviews != 120 {
+		t.Errorf("TotalReviews = %d", rep.TotalReviews)
+	}
+	if rep.ErrorReviews == 0 || rep.ErrorReviews > rep.TotalReviews {
+		t.Errorf("ErrorReviews = %d", rep.ErrorReviews)
+	}
+	if rep.Localized == 0 || rep.Localized > rep.ErrorReviews {
+		t.Errorf("Localized = %d of %d error reviews", rep.Localized, rep.ErrorReviews)
+	}
+}
+
+func TestReportClassOrdering(t *testing.T) {
+	rep := buildReport(t, 150)
+	if len(rep.Classes) == 0 {
+		t.Fatal("no classes in report")
+	}
+	for i := 1; i < len(rep.Classes); i++ {
+		if rep.Classes[i-1].Reviews < rep.Classes[i].Reviews {
+			t.Fatal("classes not sorted by review count")
+		}
+	}
+	top := rep.Classes[0]
+	if top.Reviews == 0 || len(top.Samples) == 0 {
+		t.Errorf("top class malformed: %+v", top)
+	}
+}
+
+func TestReportDevicesAppendix(t *testing.T) {
+	data := synth.GenerateSample(3)
+	b := NewBuilder(core.New(), data.App)
+	b.now = fixedNow
+	// An unmappable error review with a device mention.
+	b.Add("Please fix the bug. i'm using xiaomi mi4c", data.App.Latest().ReleasedAt.AddDate(0, 0, 1))
+	rep := b.Build()
+	if rep.Devices["xiaomi mi4c"] != 1 {
+		t.Errorf("devices = %v", rep.Devices)
+	}
+}
+
+func TestReportResolvedIssueExcluded(t *testing.T) {
+	data := synth.GenerateSample(3)
+	b := NewBuilder(core.New(), data.App)
+	b.now = fixedNow
+	b.Add("The crash from the last version has been fixed, thank you!", fixedNow())
+	rep := b.Build()
+	if rep.ErrorReviews != 0 {
+		t.Errorf("resolved-issue praise counted as error review")
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	rep := buildReport(t, 120)
+	md := rep.Markdown()
+	for _, want := range []string{
+		"# Review triage — K-9 Mail (com.fsck.k9)",
+		"## Problematic classes",
+		"reviews analyzed: 120",
+		"2024-06-01",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	data := synth.GenerateSample(3)
+	b := NewBuilder(core.New(), data.App)
+	b.now = fixedNow
+	rep := b.Build()
+	md := rep.Markdown()
+	if !strings.Contains(md, "no classes implicated") {
+		t.Error("empty report should say so")
+	}
+}

@@ -1,0 +1,165 @@
+package sdk
+
+// catalogExtra extends the framework table with the second tranche of APIs
+// exercised by the evaluation domains: UI framework, preferences,
+// clipboard, printing, sensors, NFC, media session, text services, and the
+// exception-rich java.* surface the §4.2.3 localizer consults.
+var catalogExtra = []API{
+	// --- UI framework ---
+	{Class: "android.view.View", Method: "findViewById",
+		Description: "find the view widget with the given id in the layout"},
+	{Class: "android.view.View", Method: "setVisibility",
+		Description: "show or hide the view on the screen"},
+	{Class: "android.view.View", Method: "setOnClickListener",
+		Description: "register a callback for when the user clicks the view"},
+	{Class: "android.view.LayoutInflater", Method: "inflate",
+		Description: "inflate a layout resource into its view hierarchy",
+		Exceptions:  []string{"InflateException"}},
+	{Class: "android.widget.ListView", Method: "setAdapter",
+		Description: "set the adapter that provides the list items"},
+	{Class: "android.widget.ImageView", Method: "setImageBitmap",
+		Description: "display a bitmap image in the image view"},
+	{Class: "android.widget.EditText", Method: "getText",
+		Description: "return the text the user typed into the edit field"},
+	{Class: "android.widget.ProgressBar", Method: "setProgress",
+		Description: "update the progress bar position"},
+	{Class: "android.widget.ScrollView", Method: "smoothScrollTo",
+		Description: "scroll the view smoothly to the given position"},
+	{Class: "android.app.Dialog", Method: "show",
+		Description: "display the dialog on the screen",
+		Exceptions:  []string{"BadTokenException"}},
+	{Class: "android.app.Dialog", Method: "dismiss",
+		Description: "dismiss and remove the dialog from the screen"},
+	{Class: "android.app.FragmentTransaction", Method: "commit",
+		Description: "commit the fragment transaction to the activity",
+		Exceptions:  []string{"IllegalStateException"}},
+	{Class: "android.support.v7.widget.RecyclerView", Method: "setAdapter",
+		Description: "set the adapter that provides the recycler list items"},
+
+	// --- graphics / rendering ---
+	{Class: "android.graphics.Canvas", Method: "drawBitmap",
+		Description: "draw the bitmap picture onto the canvas"},
+	{Class: "android.graphics.Bitmap", Method: "createScaledBitmap",
+		Description: "create a resized copy of the bitmap image",
+		Exceptions:  []string{"IllegalArgumentException", "OutOfMemoryError"}},
+	{Class: "android.graphics.Typeface", Method: "createFromAsset",
+		Description: "load a font typeface from the application assets",
+		Exceptions:  []string{"RuntimeException"}},
+
+	// --- preferences / settings ---
+	{Class: "android.preference.PreferenceManager", Method: "getDefaultSharedPreferences",
+		Description: "return the default shared preferences settings of the app"},
+	{Class: "android.provider.Settings$System", Method: "putInt",
+		Description: "write a value into the system settings",
+		Permission:  "android.permission.WRITE_SETTINGS",
+		Exceptions:  []string{"SecurityException"}},
+
+	// --- sensors / hardware ---
+	{Class: "android.hardware.SensorManager", Method: "registerListener",
+		Description: "register a listener for sensor events like the compass or accelerometer"},
+	{Class: "android.hardware.SensorManager", Method: "getDefaultSensor",
+		Description: "return the default sensor of the given type"},
+	{Class: "android.nfc.NfcAdapter", Method: "enableForegroundDispatch",
+		Description: "enable nfc tag dispatch to the foreground activity",
+		Exceptions:  []string{"IllegalStateException"}},
+	{Class: "android.os.BatteryManager", Method: "getIntProperty",
+		Description: "read a battery property such as the charge level"},
+
+	// --- audio focus / media session ---
+	{Class: "android.media.AudioManager", Method: "requestAudioFocus",
+		Description: "request audio focus to play sound"},
+	{Class: "android.media.AudioManager", Method: "abandonAudioFocus",
+		Description: "abandon audio focus after playback stops"},
+	{Class: "android.media.session.MediaSession", Method: "setActive",
+		Description: "activate the media session for playback controls"},
+	{Class: "android.media.MediaScannerConnection", Method: "scanFile",
+		Description: "scan a media file so it appears in the gallery"},
+
+	// --- text / speech / translation ---
+	{Class: "android.text.format.DateFormat", Method: "format",
+		Description: "format a date value as display text"},
+	{Class: "android.speech.SpeechRecognizer", Method: "startListening",
+		Description: "start listening for speech voice input"},
+
+	// --- window / display ---
+	{Class: "android.view.Window", Method: "setFlags",
+		Description: "set window display flags such as keeping the screen on"},
+	{Class: "android.view.Display", Method: "getRotation",
+		Description: "return the rotation orientation of the screen"},
+
+	// --- process / runtime ---
+	{Class: "java.lang.Runtime", Method: "exec",
+		Description: "execute a system command in a separate process",
+		Exceptions:  []string{"IOException", "SecurityException"}},
+	{Class: "java.lang.System", Method: "currentTimeMillis",
+		Description: "return the current time in milliseconds"},
+	{Class: "java.lang.Integer", Method: "parseInt",
+		Description: "parse the string as an integer number",
+		Exceptions:  []string{"NumberFormatException"}},
+	{Class: "java.util.concurrent.ExecutorService", Method: "submit",
+		Description: "submit a task for background execution",
+		Exceptions:  []string{"RejectedExecutionException"}},
+	{Class: "java.util.concurrent.Future", Method: "get",
+		Description: "wait for the background task result",
+		Exceptions:  []string{"InterruptedException", "ExecutionException"}},
+
+	// --- crypto ---
+	{Class: "javax.crypto.Cipher", Method: "doFinal",
+		Description: "encrypt or decrypt the data with the cipher",
+		Exceptions:  []string{"IllegalBlockSizeException", "BadPaddingException"}},
+	{Class: "javax.crypto.Cipher", Method: "init",
+		Description: "initialize the cipher with the encryption key",
+		Exceptions:  []string{"InvalidKeyException"}},
+	{Class: "java.security.MessageDigest", Method: "digest",
+		Description: "compute the hash digest of the data"},
+	{Class: "java.security.KeyStore", Method: "load",
+		Description: "load the certificate key store",
+		Exceptions:  []string{"IOException", "CertificateException", "NoSuchAlgorithmException"}},
+
+	// --- xml / html parsing ---
+	{Class: "org.xmlpull.v1.XmlPullParser", Method: "next",
+		Description: "advance to the next token of the xml feed document",
+		Exceptions:  []string{"XmlPullParserException", "IOException"}},
+	{Class: "android.text.Html", Method: "fromHtml",
+		Description: "parse html text into displayable styled text"},
+
+	// --- printing / share ---
+	{Class: "android.print.PrintManager", Method: "print",
+		Description: "print a document from the app"},
+	{Class: "android.content.Intent", Method: "createChooser",
+		Description: "create a chooser dialog to share content with another app"},
+
+	// --- download / storage access framework ---
+	{Class: "android.app.DownloadManager", Method: "query",
+		Description: "query the status of a download"},
+	{Class: "android.provider.DocumentsContract", Method: "buildDocumentUri",
+		Description: "build the uri of a document file on storage"},
+
+	// --- telephony extras ---
+	{Class: "android.telephony.SubscriptionManager", Method: "getActiveSubscriptionInfoList",
+		Description: "return the active sim card subscriptions",
+		Permission:  "android.permission.READ_PHONE_STATE"},
+	{Class: "android.telecom.TelecomManager", Method: "placeCall",
+		Description: "place a phone call to the given number",
+		Permission:  "android.permission.CALL_PHONE",
+		Exceptions:  []string{"SecurityException"}},
+
+	// --- widgets / wallpaper / shortcuts ---
+	{Class: "android.appwidget.AppWidgetManager", Method: "updateAppWidget",
+		Description: "update the home screen widget views"},
+	{Class: "android.app.WallpaperManager", Method: "setBitmap",
+		Description: "set the device wallpaper to the bitmap image",
+		Permission:  "android.permission.SET_WALLPAPER",
+		Exceptions:  []string{"IOException"}},
+	{Class: "android.content.pm.ShortcutManager", Method: "addDynamicShortcuts",
+		Description: "add dynamic app shortcuts to the launcher",
+		Exceptions:  []string{"IllegalArgumentException"}},
+}
+
+// extraPermissions documents the permissions the extra APIs reference.
+var extraPermissions = []Permission{
+	{Name: "android.permission.CALL_PHONE",
+		Description: "Allows an application to initiate a phone call."},
+	{Name: "android.permission.SET_WALLPAPER",
+		Description: "Allows applications to set the device wallpaper."},
+}

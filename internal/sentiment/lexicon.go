@@ -1,0 +1,70 @@
+package sentiment
+
+// valence maps words to sentiment strengths on the SentiStrength-style
+// scale: negative words in [-5,-1], positive words in [1,5]. Words absent
+// from the map are neutral.
+var valence = map[string]int{
+	// strong negative
+	"terrible": -4, "horrible": -4, "awful": -4, "worst": -4, "hate": -4,
+	"garbage": -4, "trash": -3, "useless": -4, "unusable": -4,
+	"disgusting": -4, "pathetic": -4, "scam": -4,
+	// moderate negative
+	"bad": -3, "worse": -3, "annoying": -3, "frustrating": -3, "broken": -3,
+	"crash": -3, "crashes": -3, "crashed": -3, "crashing": -3, "bug": -3,
+	"bugs": -3, "buggy": -3, "error": -3, "errors": -3, "fail": -3,
+	"fails": -3, "failed": -3, "failure": -3, "freeze": -3, "freezes": -3,
+	"frozen": -3, "froze": -3, "glitch": -3, "glitches": -3, "corrupt": -3,
+	"corrupted": -3, "unresponsive": -3, "exception": -2,
+	// mild negative
+	"problem": -2, "problems": -2, "issue": -2, "issues": -2, "fault": -2,
+	"wrong": -2, "slow": -2, "stuck": -2, "hang": -2, "hangs": -2,
+	"hung": -2, "unable": -2, "impossible": -2, "missing": -2, "lost": -2,
+	"disappointing": -3, "disappointed": -3, "sadly": -2, "unfortunately": -2,
+	"poor": -2, "lacking": -2, "confusing": -2, "uninstall": -2,
+	"uninstalled": -2, "uninstalling": -2, "refund": -2, "blank": -1,
+	"empty": -1, "stopped": -2, "stop": -1, "quit": -2, "dies": -3,
+	"died": -3, "laggy": -3, "lag": -2, "lags": -2, "spam": -2,
+	"waste": -3, "wasted": -3, "ridiculous": -3, "stupid": -3,
+	"mess": -3, "sucks": -4, "suck": -4, "crap": -4, "junk": -3,
+	"complaint": -2, "complaints": -2, "defect": -3, "defects": -3,
+
+	// strong positive
+	"excellent": 4, "amazing": 4, "awesome": 4, "fantastic": 4,
+	"wonderful": 4, "perfect": 4, "love": 4, "loved": 4, "loves": 4,
+	"brilliant": 4, "outstanding": 4, "superb": 4, "flawless": 4,
+	// moderate positive
+	"great": 3, "good": 2, "nice": 2, "best": 3, "better": 1,
+	"beautiful": 3, "helpful": 2, "useful": 2, "smooth": 2, "fast": 1,
+	"easy": 2, "simple": 1, "clean": 2, "handy": 2, "solid": 2,
+	"reliable": 3, "stable": 2, "recommend": 3, "recommended": 3,
+	"thanks": 2, "thank": 2, "happy": 3, "pleased": 3, "enjoy": 3,
+	"enjoyed": 3, "like": 2, "likes": 2, "liked": 2, "fine": 1,
+	"works": 1, "working": 1, "worked": 1, "favorite": 3, "cool": 2,
+	"intuitive": 2, "responsive": 2, "free": 1, "fun": 2,
+}
+
+// boosters amplify (positive value) or dampen (negative value) the strength
+// of the following sentiment word.
+var boosters = map[string]int{
+	"very": 1, "really": 1, "extremely": 2, "so": 1, "totally": 1,
+	"absolutely": 2, "completely": 1, "always": 1, "constantly": 1,
+	"super": 1, "incredibly": 2,
+	"slightly": -1, "somewhat": -1, "bit": -1, "little": -1, "kinda": -1,
+	"fairly": -1,
+}
+
+// negations flip the polarity of nearby sentiment words.
+var negations = map[string]struct{}{
+	"not": {}, "no": {}, "never": {}, "cannot": {}, "cant": {},
+	"wont": {}, "dont": {}, "doesnt": {}, "didnt": {}, "isnt": {},
+	"wasnt": {}, "couldnt": {}, "wouldnt": {}, "without": {}, "nothing": {},
+	"nobody": {}, "none": {}, "neither": {}, "nor": {},
+}
+
+func isNegation(w string) bool {
+	if _, ok := negations[w]; ok {
+		return true
+	}
+	// contracted forms survive tokenization with the apostrophe
+	return len(w) > 3 && (w[len(w)-3:] == "n't")
+}

@@ -1,0 +1,433 @@
+// Package synth deterministically generates the evaluation universe of the
+// paper: the 18 open-source Android apps of Table 6 (plus the 10 additional
+// apps of Table 14 and the 5 iOS apps of Table 16), their multi-version APK
+// histories, user-review corpora with the context mix of Table 1 and the
+// score mix of Table 3, bug reports (Fig. 5 ground truth) and release notes
+// (Fig. 6 ground truth), and the labeled classifier datasets of §5.2.
+//
+// Everything is seeded: the same seed always yields byte-identical data, so
+// every table in EXPERIMENTS.md regenerates exactly.
+package synth
+
+import "reviewsolver/internal/qa"
+
+// feature is a unit of app functionality: the classes implementing it, the
+// framework APIs it calls, its GUI surface, and the vocabulary users employ
+// when it breaks.
+type feature struct {
+	// name identifies the feature ("send mail").
+	name string
+	// verb and object are the user-facing action words.
+	verb, object string
+	// activityBase and workerBase are the class base names
+	// ("MessageCompose", "MessageSender").
+	activityBase, workerBase string
+	// apis are the framework APIs the worker calls.
+	apis []qa.APIRef
+	// widgetIDs are the layout widget ids of the feature's activity.
+	widgetIDs []string
+	// visibleTexts are shown in the feature's activity.
+	visibleTexts []string
+	// errorMessage is raised (via Toast/dialog) when the feature fails.
+	errorMessage string
+	// uri is an optional content-provider URI the worker queries.
+	uri string
+	// intentAction is an optional intent the worker dispatches.
+	intentAction string
+	// exception is an optional exception type the worker throws.
+	exception string
+	// generalTask is the Stack Overflow task phrase matching the feature
+	// ("download file"), used by General Task reviews.
+	generalTask string
+}
+
+// featureLibrary is the pool of features apps are assembled from, grouped
+// by the domains of the evaluation apps.
+var featureLibrary = map[string][]feature{
+	"mail": {
+		{
+			name: "send mail", verb: "send", object: "email",
+			activityBase: "MessageCompose", workerBase: "MessageSender",
+			apis: []qa.APIRef{
+				{Class: "java.net.Socket", Method: "connect"},
+				{Class: "java.net.Socket", Method: "getOutputStream"},
+			},
+			widgetIDs:    []string{"send_btn", "subject_edit", "quoted_text_edit"},
+			visibleTexts: []string{"Send", "Subject", "Compose"},
+			errorMessage: "Failed to send some messages",
+			exception:    "SocketException",
+			generalTask:  "send email",
+		},
+		{
+			name: "fetch mail", verb: "fetch", object: "mail",
+			activityBase: "MessageList", workerBase: "MailFetcher",
+			apis: []qa.APIRef{
+				{Class: "java.net.URLConnection", Method: "connect"},
+				{Class: "java.net.Socket", Method: "setSoTimeout"},
+			},
+			widgetIDs:    []string{"inbox_list", "refresh_btn"},
+			visibleTexts: []string{"Inbox", "Refresh"},
+			errorMessage: "Cannot fetch mail from server",
+			exception:    "SocketException",
+			generalTask:  "sync data",
+		},
+		{
+			name: "verify certificate", verb: "verify", object: "certificate",
+			activityBase: "ClientCertificateSpinner", workerBase: "CertificateChecker",
+			apis: []qa.APIRef{
+				{Class: "android.security.KeyChain", Method: "choosePrivateKeyAlias"},
+				{Class: "javax.net.ssl.SSLSocket", Method: "startHandshake"},
+			},
+			widgetIDs:    []string{"certificate_spinner"},
+			visibleTexts: []string{"Certificate"},
+			errorMessage: "Random certificate errors",
+			generalTask:  "trust certificate",
+		},
+		{
+			name: "reply mail", verb: "reply", object: "message",
+			activityBase: "EditIdentity", workerBase: "ReplyBuilder",
+			apis: []qa.APIRef{
+				{Class: "android.widget.TextView", Method: "setText"},
+			},
+			widgetIDs:    []string{"reply_to", "reply_btn", "signature_edit"},
+			visibleTexts: []string{"Reply to address", "Signature"},
+			errorMessage: "Could not build reply",
+		},
+	},
+	"messaging": {
+		{
+			name: "send sms", verb: "send", object: "sms",
+			activityBase: "ConversationActivity", workerBase: "SmsSendJob",
+			apis: []qa.APIRef{
+				{Class: "android.telephony.SmsManager", Method: "sendTextMessage"},
+				{Class: "android.telephony.SmsManager", Method: "divideMessage"},
+			},
+			widgetIDs:    []string{"send_btn", "compose_text"},
+			visibleTexts: []string{"Send message"},
+			errorMessage: "Message could not be sent",
+			generalTask:  "send sms",
+		},
+		{
+			name: "find contact", verb: "find", object: "contact",
+			activityBase: "ContactSelectionActivity", workerBase: "ContactsDatabase",
+			apis: []qa.APIRef{
+				{Class: "android.content.ContentResolver", Method: "query"},
+			},
+			uri:          "content://contacts",
+			widgetIDs:    []string{"contact_search", "contact_list"},
+			visibleTexts: []string{"Search contacts"},
+			errorMessage: "Could not load contacts",
+			generalTask:  "read contacts",
+		},
+		{
+			name: "backup sms", verb: "backup", object: "sms",
+			activityBase: "BackupActivity", workerBase: "SmsBackupService",
+			apis: []qa.APIRef{
+				{Class: "android.content.ContentResolver", Method: "query"},
+				{Class: "android.app.backup.BackupManager", Method: "dataChanged"},
+			},
+			uri:          "content://sms",
+			widgetIDs:    []string{"backup_btn", "auto_backup_cb"},
+			visibleTexts: []string{"Backup now", "Auto backup"},
+			errorMessage: "Backup failed",
+			generalTask:  "backup sms",
+		},
+		{
+			name: "encrypt message", verb: "encrypt", object: "message",
+			activityBase: "SecureComposeActivity", workerBase: "MessageCipher",
+			apis: []qa.APIRef{
+				{Class: "android.security.KeyChain", Method: "getCertificateChain"},
+			},
+			widgetIDs:    []string{"lock_icon", "encrypt_toggle"},
+			visibleTexts: []string{"Encrypted"},
+			errorMessage: "Encryption key missing",
+			exception:    "KeyChainException",
+		},
+	},
+	"social": {
+		{
+			name: "upload photo", verb: "upload", object: "photos",
+			activityBase: "MediaPickerActivity", workerBase: "MediaUploader",
+			apis: []qa.APIRef{
+				{Class: "java.net.URL", Method: "openConnection"},
+				{Class: "java.net.HttpURLConnection", Method: "getResponseCode"},
+			},
+			intentAction: "android.media.action.IMAGE_CAPTURE",
+			widgetIDs:    []string{"upload_btn", "gallery_grid"},
+			visibleTexts: []string{"Upload", "Gallery"},
+			errorMessage: "uploading photos error",
+			generalTask:  "upload photo",
+		},
+		{
+			name: "load timeline", verb: "load", object: "timeline",
+			activityBase: "TimelineActivity", workerBase: "TimelineLoader",
+			apis: []qa.APIRef{
+				{Class: "java.net.HttpURLConnection", Method: "getInputStream"},
+				{Class: "org.json.JSONObject", Method: "getString"},
+			},
+			widgetIDs:    []string{"timeline_list", "refresh_layout"},
+			visibleTexts: []string{"Timeline", "Home"},
+			errorMessage: "Could not refresh timeline",
+			generalTask:  "parse json",
+		},
+		{
+			name: "post comment", verb: "post", object: "comment",
+			activityBase: "ComposeActivity", workerBase: "StatusPoster",
+			apis: []qa.APIRef{
+				{Class: "java.net.URL", Method: "openConnection"},
+			},
+			widgetIDs:    []string{"post_btn", "comment_edit"},
+			visibleTexts: []string{"Post", "What's happening?"},
+			errorMessage: "Post failed, try again",
+		},
+		{
+			name: "open link", verb: "open", object: "links",
+			activityBase: "BrowserActivity", workerBase: "LinkOpener",
+			apis: []qa.APIRef{
+				{Class: "android.webkit.WebView", Method: "loadUrl"},
+				{Class: "java.net.HttpURLConnection", Method: "getResponseCode"},
+			},
+			widgetIDs:    []string{"web_view", "address_bar"},
+			visibleTexts: []string{"Open in browser"},
+			errorMessage: "404 error",
+			generalTask:  "404 error",
+		},
+	},
+	"reader": {
+		{
+			name: "download book", verb: "download", object: "file",
+			activityBase: "CatalogActivity", workerBase: "BookDownloader",
+			apis: []qa.APIRef{
+				{Class: "android.app.DownloadManager", Method: "enqueue"},
+				{Class: "java.io.FileOutputStream", Method: "write"},
+			},
+			widgetIDs:    []string{"download_btn", "catalog_list"},
+			visibleTexts: []string{"Download", "Catalog"},
+			errorMessage: "Download could not complete",
+			generalTask:  "download file",
+		},
+		{
+			name: "read article", verb: "read", object: "articles",
+			activityBase: "ReaderActivity", workerBase: "PageRenderer",
+			apis: []qa.APIRef{
+				{Class: "android.widget.TextView", Method: "setText"},
+				{Class: "android.graphics.BitmapFactory", Method: "decodeFile"},
+			},
+			widgetIDs:    []string{"page_view", "font_size_sb"},
+			visibleTexts: []string{"Reading", "Font size"},
+			errorMessage: "Cannot render page",
+		},
+		{
+			name: "sync library", verb: "sync", object: "library",
+			activityBase: "LibraryActivity", workerBase: "LibrarySyncer",
+			apis: []qa.APIRef{
+				{Class: "java.net.URLConnection", Method: "connect"},
+				{Class: "android.database.sqlite.SQLiteDatabase", Method: "insert"},
+			},
+			widgetIDs:    []string{"library_grid", "sync_btn"},
+			visibleTexts: []string{"Library", "Sync"},
+			errorMessage: "Sync failed",
+			generalTask:  "sync data",
+		},
+	},
+	"media": {
+		{
+			name: "play episode", verb: "play", object: "episode",
+			activityBase: "PlayerActivity", workerBase: "PlaybackService",
+			apis: []qa.APIRef{
+				{Class: "android.media.MediaPlayer", Method: "setDataSource"},
+				{Class: "android.media.MediaPlayer", Method: "prepare"},
+				{Class: "android.media.MediaPlayer", Method: "start"},
+			},
+			widgetIDs:    []string{"play_btn", "seek_bar", "volume_sb"},
+			visibleTexts: []string{"Play", "Now playing"},
+			errorMessage: "Playback error",
+			exception:    "IllegalStateException",
+			generalTask:  "play audio",
+		},
+		{
+			name: "take picture", verb: "take", object: "pictures",
+			activityBase: "CameraActivity", workerBase: "PictureSaver",
+			apis: []qa.APIRef{
+				{Class: "android.hardware.Camera", Method: "open"},
+				{Class: "android.hardware.Camera", Method: "takePicture"},
+				{Class: "android.graphics.Matrix", Method: "postRotate"},
+			},
+			intentAction: "android.media.action.IMAGE_CAPTURE",
+			widgetIDs:    []string{"shutter_btn", "flash_toggle"},
+			visibleTexts: []string{"Capture"},
+			errorMessage: "out of memory",
+			generalTask:  "take picture",
+		},
+		{
+			name: "save picture", verb: "save", object: "photos",
+			activityBase: "GalleryActivity", workerBase: "MediaStore",
+			apis: []qa.APIRef{
+				{Class: "android.os.Environment", Method: "getExternalStorageDirectory"},
+				{Class: "java.io.FileOutputStream", Method: "write"},
+			},
+			widgetIDs:    []string{"save_btn", "gallery_grid"},
+			visibleTexts: []string{"Save to SD card"},
+			errorMessage: "Could not save to sd card",
+			generalTask:  "save file",
+		},
+		{
+			name: "stream audio", verb: "stream", object: "music",
+			activityBase: "StreamActivity", workerBase: "StreamBuffer",
+			apis: []qa.APIRef{
+				{Class: "java.net.Socket", Method: "getInputStream"},
+				{Class: "android.media.MediaPlayer", Method: "start"},
+			},
+			widgetIDs:    []string{"stream_list"},
+			visibleTexts: []string{"Stations"},
+			errorMessage: "Buffering failed",
+			exception:    "SocketException",
+		},
+	},
+	"maps": {
+		{
+			name: "locate position", verb: "find", object: "location",
+			activityBase: "MapActivity", workerBase: "LocationTracker",
+			apis: []qa.APIRef{
+				{Class: "android.location.LocationManager", Method: "requestLocationUpdates"},
+				{Class: "android.location.LocationManager", Method: "getLastKnownLocation"},
+			},
+			widgetIDs:    []string{"map_view", "locate_btn"},
+			visibleTexts: []string{"My location"},
+			errorMessage: "GPS signal lost",
+			exception:    "SecurityException",
+			generalTask:  "get location",
+		},
+		{
+			name: "log visit", verb: "log", object: "visit",
+			activityBase: "LogVisitActivity", workerBase: "VisitLogger",
+			apis: []qa.APIRef{
+				{Class: "android.database.sqlite.SQLiteDatabase", Method: "insert"},
+				{Class: "java.net.URLConnection", Method: "connect"},
+			},
+			widgetIDs:    []string{"log_btn", "visit_note_edit"},
+			visibleTexts: []string{"Log visit"},
+			errorMessage: "can't load data required to log visit",
+		},
+		{
+			name: "search route", verb: "search", object: "route",
+			activityBase: "RouteSearchActivity", workerBase: "RouteFinder",
+			apis: []qa.APIRef{
+				{Class: "java.net.HttpURLConnection", Method: "getInputStream"},
+				{Class: "org.json.JSONObject", Method: "getString"},
+			},
+			widgetIDs:    []string{"route_search", "arrivals_list"},
+			visibleTexts: []string{"Find routes", "Arrivals"},
+			errorMessage: "No arrival data",
+			generalTask:  "parse json",
+		},
+	},
+	"games": {
+		{
+			name: "load puzzle", verb: "load", object: "puzzle",
+			activityBase: "PuzzleActivity", workerBase: "PuzzleLoader",
+			apis: []qa.APIRef{
+				{Class: "java.io.FileInputStream", Method: "read"},
+				{Class: "java.util.zip.ZipInputStream", Method: "getNextEntry"},
+			},
+			widgetIDs:    []string{"board_view", "clue_list"},
+			visibleTexts: []string{"Across", "Down"},
+			errorMessage: "Puzzle file corrupt",
+			exception:    "ZipException",
+			generalTask:  "unzip file",
+		},
+		{
+			name: "save game", verb: "save", object: "game",
+			activityBase: "GameActivity", workerBase: "GameSaver",
+			apis: []qa.APIRef{
+				{Class: "android.content.SharedPreferences$Editor", Method: "putString"},
+			},
+			widgetIDs:    []string{"undo_btn", "new_game_btn"},
+			visibleTexts: []string{"New game", "Undo"},
+			errorMessage: "Could not save game state",
+		},
+		{
+			name: "show stats", verb: "show", object: "stats",
+			activityBase: "StatsActivity", workerBase: "StatsCalculator",
+			apis: []qa.APIRef{
+				{Class: "android.database.sqlite.SQLiteDatabase", Method: "query"},
+			},
+			widgetIDs:    []string{"stats_list", "stats_chart"},
+			visibleTexts: []string{"Statistics", "Streak"},
+			errorMessage: "stats page error",
+		},
+	},
+	"tools": {
+		{
+			name: "download torrent", verb: "download", object: "file",
+			activityBase: "TransfersActivity", workerBase: "TorrentDownloader",
+			apis: []qa.APIRef{
+				{Class: "java.net.Socket", Method: "connect"},
+				{Class: "java.io.FileOutputStream", Method: "write"},
+			},
+			widgetIDs:    []string{"transfers_list", "pause_btn"},
+			visibleTexts: []string{"Transfers"},
+			errorMessage: "Too many errors that prevent file downloads",
+			exception:    "SocketException",
+			generalTask:  "download file",
+		},
+		{
+			name: "unlock screen", verb: "unlock", object: "screen",
+			activityBase: "LockscreenActivity", workerBase: "UnlockHandler",
+			apis: []qa.APIRef{
+				{Class: "android.os.PowerManager$WakeLock", Method: "acquire"},
+			},
+			widgetIDs:    []string{"unlock_area", "pin_pad"},
+			visibleTexts: []string{"Swipe to unlock"},
+			errorMessage: "Unlock gesture not recognized",
+		},
+		{
+			name: "review flashcard", verb: "review", object: "cards",
+			activityBase: "ReviewerActivity", workerBase: "DeckScheduler",
+			apis: []qa.APIRef{
+				{Class: "android.database.sqlite.SQLiteDatabase", Method: "query"},
+				{Class: "android.database.sqlite.SQLiteDatabase", Method: "execSQL"},
+			},
+			widgetIDs:    []string{"card_view", "again_btn", "good_btn"},
+			visibleTexts: []string{"Show answer", "Again", "Good"},
+			errorMessage: "Deck database error",
+			exception:    "SQLiteException",
+		},
+		{
+			name: "notify display", verb: "show", object: "notifications",
+			activityBase: "NotificationsActivity", workerBase: "NotificationPresenter",
+			apis: []qa.APIRef{
+				{Class: "android.app.NotificationManager", Method: "notify"},
+			},
+			widgetIDs:    []string{"notification_list", "priority_sp"},
+			visibleTexts: []string{"Active notifications"},
+			errorMessage: "Notification could not be shown",
+		},
+	},
+}
+
+// commonFeatures are included in every app: launch and account login.
+var commonFeatures = []feature{
+	{
+		name: "open app", verb: "open", object: "app",
+		activityBase: "MainActivity", workerBase: "StartupLoader",
+		apis: []qa.APIRef{
+			{Class: "android.content.SharedPreferences", Method: "getString"},
+		},
+		widgetIDs:    []string{"main_toolbar", "nav_drawer"},
+		visibleTexts: []string{"Welcome"},
+		errorMessage: "Initialization failed",
+	},
+	{
+		name: "login account", verb: "login", object: "account",
+		activityBase: "LoginActivity", workerBase: "AccountAuthenticator",
+		apis: []qa.APIRef{
+			{Class: "android.accounts.AccountManager", Method: "getAuthToken"},
+			{Class: "java.net.HttpURLConnection", Method: "getResponseCode"},
+		},
+		widgetIDs:    []string{"username_edit", "password_edit", "show_password", "login_btn"},
+		visibleTexts: []string{"Sign in", "Password", "Username"},
+		errorMessage: "Login failed, check credentials",
+		generalTask:  "login user",
+	},
+}

@@ -1,0 +1,57 @@
+package synth
+
+import (
+	"fmt"
+
+	"reviewsolver/internal/apk"
+)
+
+// Obfuscate returns a deep copy of a release with every method name
+// replaced by a meaningless short identifier, the way ProGuard strips an
+// APK (§3.3.2's obfuscation experiment). Class names, layouts, and string
+// resources are kept — ProGuard's default keeps entry-point classes, and
+// the paper's Code2vec experiment targets method names specifically.
+func Obfuscate(r *apk.Release) *apk.Release {
+	out := &apk.Release{
+		Version:     r.Version + "-obf",
+		VersionCode: r.VersionCode,
+		ReleasedAt:  r.ReleasedAt,
+		Manifest:    r.Manifest,
+		Layouts:     r.Layouts,
+		StringRes:   r.StringRes,
+	}
+	n := 0
+	for _, c := range r.Classes {
+		clone := &apk.Class{Name: c.Name, Super: c.Super}
+		for _, m := range c.Methods {
+			name := obfName(n)
+			n++
+			// Lifecycle entry points keep their names (the framework calls
+			// them by name, so ProGuard cannot rename them).
+			if m.Name == "onCreate" || m.Name == "onStart" || m.Name == "onResume" ||
+				m.Name == "onClick" {
+				name = m.Name
+			}
+			clone.Methods = append(clone.Methods, &apk.Method{
+				Name:       name,
+				Class:      c.Name,
+				Statements: append([]apk.Statement(nil), m.Statements...),
+			})
+		}
+		out.Classes = append(out.Classes, clone)
+	}
+	return out
+}
+
+// obfName yields "a", "b", …, "z", "aa", "ab", … like ProGuard.
+func obfName(n int) string {
+	name := ""
+	for {
+		name = fmt.Sprintf("%c%s", 'a'+n%26, name)
+		n = n/26 - 1
+		if n < 0 {
+			break
+		}
+	}
+	return name
+}

@@ -1,0 +1,97 @@
+package textclass
+
+import (
+	"math/rand"
+)
+
+// Metrics are binary-classification quality measures.
+type Metrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	TP, FP    int
+	TN, FN    int
+}
+
+// computeMetrics derives precision/recall/F1 from the confusion counts.
+func (m *Metrics) compute() {
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+}
+
+// Evaluate trains on the train split and measures on the test split.
+func Evaluate(c Classifier, v *Vectorizer, train, test []Document) Metrics {
+	xs, ys := v.TransformAll(train)
+	c.Fit(xs, ys)
+	var m Metrics
+	for _, d := range test {
+		pred := c.Predict(v.Transform(d.Text))
+		switch {
+		case pred && d.Label:
+			m.TP++
+		case pred && !d.Label:
+			m.FP++
+		case !pred && d.Label:
+			m.FN++
+		default:
+			m.TN++
+		}
+	}
+	m.compute()
+	return m
+}
+
+// CrossValidate runs k-fold cross-validation with a fixed shuffle seed and
+// returns the pooled metrics (confusion counts summed over folds, as the
+// paper reports a single precision/recall per classifier).
+func CrossValidate(k int, docs []Document, factory Factory, seed int64) Metrics {
+	if k < 2 {
+		k = 2
+	}
+	shuffled := make([]Document, len(docs))
+	copy(shuffled, docs)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	var total Metrics
+	foldSize := len(shuffled) / k
+	for fold := 0; fold < k; fold++ {
+		lo := fold * foldSize
+		hi := lo + foldSize
+		if fold == k-1 {
+			hi = len(shuffled)
+		}
+		test := shuffled[lo:hi]
+		train := make([]Document, 0, len(shuffled)-len(test))
+		train = append(train, shuffled[:lo]...)
+		train = append(train, shuffled[hi:]...)
+
+		vec := NewVectorizer()
+		vec.Fit(train)
+		m := Evaluate(factory(), vec, train, test)
+		total.TP += m.TP
+		total.FP += m.FP
+		total.TN += m.TN
+		total.FN += m.FN
+	}
+	total.compute()
+	return total
+}
+
+// TrainOn fits a vectorizer and classifier on a corpus and returns both,
+// ready for prediction on new reviews.
+func TrainOn(docs []Document, factory Factory) (*Vectorizer, Classifier) {
+	vec := NewVectorizer()
+	vec.Fit(docs)
+	xs, ys := vec.TransformAll(docs)
+	c := factory()
+	c.Fit(xs, ys)
+	return vec, c
+}

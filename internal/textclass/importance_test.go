@@ -1,0 +1,86 @@
+package textclass
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// importanceCorpus: "crash"/"broken" drive the label; filler words do not.
+func importanceCorpus(n int) []Document {
+	rng := rand.New(rand.NewSource(3))
+	filler := []string{"the", "app", "today", "phone", "screen", "really", "very"}
+	docs := make([]Document, 0, n)
+	for i := 0; i < n; i++ {
+		words := make([]string, 0, 8)
+		for k := 0; k < 5; k++ {
+			words = append(words, filler[rng.Intn(len(filler))])
+		}
+		label := i%2 == 0
+		if label {
+			if i%4 == 0 {
+				words = append(words, "crash")
+			} else {
+				words = append(words, "broken")
+			}
+		} else {
+			words = append(words, "love")
+		}
+		docs = append(docs, Document{Text: strings.Join(words, " "), Label: label})
+	}
+	return docs
+}
+
+func TestFeatureImportances(t *testing.T) {
+	docs := importanceCorpus(400)
+	vec := NewVectorizer()
+	vec.Fit(docs)
+	xs, ys := vec.TransformAll(docs)
+	bt := NewBoostedTrees()
+	bt.Fit(xs, ys)
+
+	top := vec.TopFeatureNames(bt, 8)
+	if len(top) == 0 {
+		t.Fatal("no importances")
+	}
+	joined := strings.Join(top, " | ")
+	foundSignal := false
+	for _, want := range []string{"crash", "broken", "love"} {
+		for _, f := range top {
+			if f == want {
+				foundSignal = true
+			}
+		}
+	}
+	if !foundSignal {
+		t.Errorf("top features %s contain none of the label-driving words", joined)
+	}
+}
+
+func TestFeatureNameRoundtrip(t *testing.T) {
+	vec := NewVectorizer()
+	vec.Fit([]Document{{Text: "crash report", Label: true}})
+	found := false
+	for i := 0; i < vec.VocabSize(); i++ {
+		name, ok := vec.FeatureName(i)
+		if !ok {
+			t.Fatalf("index %d unresolved", i)
+		}
+		if name == "crash" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("feature 'crash' not in vocabulary")
+	}
+	if _, ok := vec.FeatureName(1 << 30); ok {
+		t.Error("bogus index resolved")
+	}
+}
+
+func TestImportancesEmptyModel(t *testing.T) {
+	bt := NewBoostedTrees()
+	if got := bt.FeatureImportances(); len(got) != 0 {
+		t.Errorf("untrained model has importances: %v", got)
+	}
+}

@@ -1,0 +1,146 @@
+package textproc
+
+import (
+	"sort"
+	"strings"
+)
+
+// Normalizer repairs typos and expands abbreviations in review tokens, per
+// §3.2.1: "To remove typos, we leverage the edit distance to discover the
+// correct word if the word is not found in the dictionary. Abbreviations are
+// replaced with their original words."
+type Normalizer struct {
+	dict    map[string]struct{}
+	byLen   map[int][]string // dictionary words grouped by length for candidate pruning
+	abbrevs map[string]string
+	maxDist int
+}
+
+// NormalizerOption configures a Normalizer.
+type NormalizerOption func(*Normalizer)
+
+// WithMaxEditDistance sets the maximum edit distance allowed when repairing a
+// typo (default 1; the paper's pipeline is conservative to avoid rewriting
+// app-specific names).
+func WithMaxEditDistance(d int) NormalizerOption {
+	return func(n *Normalizer) { n.maxDist = d }
+}
+
+// WithExtraWords adds app-specific vocabulary (e.g. class-name words, app
+// names) so that they are not "repaired" into dictionary words.
+func WithExtraWords(words []string) NormalizerOption {
+	return func(n *Normalizer) {
+		for _, w := range words {
+			n.addWord(strings.ToLower(w))
+		}
+	}
+}
+
+// NewNormalizer builds a Normalizer over the built-in review-English
+// dictionary and abbreviation table.
+func NewNormalizer(opts ...NormalizerOption) *Normalizer {
+	n := &Normalizer{
+		dict:    make(map[string]struct{}, len(reviewDictionary)),
+		byLen:   make(map[int][]string),
+		abbrevs: reviewAbbreviations,
+		maxDist: 1,
+	}
+	for _, w := range reviewDictionary {
+		n.addWord(w)
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n
+}
+
+func (n *Normalizer) addWord(w string) {
+	if _, ok := n.dict[w]; ok {
+		return
+	}
+	n.dict[w] = struct{}{}
+	n.byLen[len(w)] = append(n.byLen[len(w)], w)
+}
+
+// Known reports whether a lower-cased word is in the dictionary.
+func (n *Normalizer) Known(word string) bool {
+	_, ok := n.dict[word]
+	return ok
+}
+
+// ExpandAbbreviation returns the expansion of a review abbreviation
+// ("pls" → "please") and whether one applied.
+func (n *Normalizer) ExpandAbbreviation(word string) (string, bool) {
+	exp, ok := n.abbrevs[word]
+	return exp, ok
+}
+
+// NormalizeWord expands abbreviations then repairs typos. Words of three or
+// fewer characters, numbers, and dictionary words pass through unchanged.
+// The repaired word is chosen deterministically: minimal edit distance, then
+// lexicographic order.
+func (n *Normalizer) NormalizeWord(word string) string {
+	w := strings.ToLower(word)
+	if exp, ok := n.abbrevs[w]; ok {
+		return exp
+	}
+	if len(w) <= 3 || n.Known(w) || !isAlphaWord(w) {
+		return w
+	}
+	best, bestDist := "", n.maxDist+1
+	for l := len(w) - n.maxDist; l <= len(w)+n.maxDist; l++ {
+		for _, cand := range n.byLen[l] {
+			if !LevenshteinAtMost(w, cand, n.maxDist) {
+				continue
+			}
+			d := Levenshtein(w, cand)
+			if d < bestDist || (d == bestDist && cand < best) {
+				best, bestDist = cand, d
+			}
+		}
+	}
+	if best != "" {
+		return best
+	}
+	return w
+}
+
+// NormalizeSentence applies NormalizeWord to every word of a sentence and
+// reassembles it with single spaces. Punctuation is preserved as separate
+// tokens so downstream parsing still sees clause boundaries.
+func (n *Normalizer) NormalizeSentence(sentence string) string {
+	toks := Tokenize(sentence)
+	parts := make([]string, 0, len(toks))
+	for _, t := range toks {
+		switch t.Kind {
+		case Word:
+			parts = append(parts, n.NormalizeWord(t.Lower))
+		default:
+			parts = append(parts, t.Text)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func isAlphaWord(w string) bool {
+	for i := 0; i < len(w); i++ {
+		if !isLetter(w[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DictionarySize returns the number of words the normalizer knows; useful
+// for diagnostics and tests.
+func (n *Normalizer) DictionarySize() int { return len(n.dict) }
+
+// DictionaryWords returns a sorted copy of the dictionary, mainly for tests.
+func (n *Normalizer) DictionaryWords() []string {
+	out := make([]string, 0, len(n.dict))
+	for w := range n.dict {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,142 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNormalizeWord(t *testing.T) {
+	n := NewNormalizer()
+	tests := []struct {
+		name, in, want string
+	}{
+		{"abbrev pls", "pls", "please"},
+		{"abbrev pic", "pic", "picture"},
+		{"abbrev msg", "msg", "message"},
+		// "crashs" repairs to "crash" (distance 1, lexicographically first
+		// among the distance-1 candidates "crash"/"crashes").
+		{"typo crashs", "crashs", "crash"},
+		{"typo conect", "conect", "connect"},
+		{"known word untouched", "crashes", "crashes"},
+		{"short word untouched", "the", "the"},
+		{"case folded", "CRASHES", "crashes"},
+		{"number untouched", "404", "404"},
+		{"unknown far word untouched", "qzxwvy", "qzxwvy"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := n.NormalizeWord(tt.in); got != tt.want {
+				t.Errorf("NormalizeWord(%q) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeWordDeterministic(t *testing.T) {
+	n := NewNormalizer()
+	first := n.NormalizeWord("crashs")
+	for i := 0; i < 10; i++ {
+		if got := n.NormalizeWord("crashs"); got != first {
+			t.Fatalf("non-deterministic repair: %q then %q", first, got)
+		}
+	}
+}
+
+func TestWithExtraWords(t *testing.T) {
+	// Without the extra word, "twidere" would be eligible for repair;
+	// with it, it must pass through.
+	n := NewNormalizer(WithExtraWords([]string{"twidere", "wordpress"}))
+	if !n.Known("twidere") {
+		t.Fatal("extra word not registered")
+	}
+	if got := n.NormalizeWord("twidere"); got != "twidere" {
+		t.Errorf("app word rewritten to %q", got)
+	}
+}
+
+func TestNormalizeSentence(t *testing.T) {
+	n := NewNormalizer()
+	got := n.NormalizeSentence("pls fix the crashs")
+	want := "please fix the crash"
+	if got != want {
+		t.Errorf("NormalizeSentence = %q, want %q", got, want)
+	}
+}
+
+func TestNormalizerDictionary(t *testing.T) {
+	n := NewNormalizer()
+	if n.DictionarySize() < 500 {
+		t.Errorf("dictionary suspiciously small: %d words", n.DictionarySize())
+	}
+	words := n.DictionaryWords()
+	if len(words) != n.DictionarySize() {
+		t.Errorf("DictionaryWords length %d != size %d", len(words), n.DictionarySize())
+	}
+}
+
+func TestSplitIdentifier(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"getEmail", []string{"get", "email"}},
+		{"MessageListFragment", []string{"message", "list", "fragment"}},
+		{"quoted_text_edit", []string{"quoted", "text", "edit"}},
+		{"show_password", []string{"show", "password"}},
+		{"HTTPClient", []string{"http", "client"}},
+		{"onCreate", []string{"on", "create"}},
+		{"sendSMS", []string{"send", "sms"}},
+		{"", nil},
+		{"a", []string{"a"}},
+		{"reply_to", []string{"reply", "to"}},
+	}
+	for _, tt := range tests {
+		if got := SplitIdentifier(tt.in); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("SplitIdentifier(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestExpandUIAbbreviation(t *testing.T) {
+	if got := ExpandUIAbbreviation("btn"); got != "button" {
+		t.Errorf("btn → %q", got)
+	}
+	if got := ExpandUIAbbreviation("rb"); got != "radio button" {
+		t.Errorf("rb → %q", got)
+	}
+	if got := ExpandUIAbbreviation("password"); got != "password" {
+		t.Errorf("non-abbrev changed: %q", got)
+	}
+}
+
+func TestExpandUIWords(t *testing.T) {
+	got := ExpandUIWords([]string{"login", "btn"})
+	want := []string{"login", "button"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExpandUIWords = %v, want %v", got, want)
+	}
+	got = ExpandUIWords([]string{"rb", "dark"})
+	want = []string{"radio", "button", "dark"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExpandUIWords multiword = %v, want %v", got, want)
+	}
+}
+
+func TestUIAbbreviationCount(t *testing.T) {
+	if UIAbbreviationCount() < 39 {
+		t.Errorf("paper collected 39 UI abbreviations; have %d", UIAbbreviationCount())
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "on", "is"} {
+		if !IsStopword(w) {
+			t.Errorf("%q should be a stopword", w)
+		}
+	}
+	for _, w := range []string{"crash", "email", "button"} {
+		if IsStopword(w) {
+			t.Errorf("%q should not be a stopword", w)
+		}
+	}
+}

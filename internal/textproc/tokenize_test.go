@@ -1,0 +1,216 @@
+package textproc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStripNonASCII(t *testing.T) {
+	tests := []struct {
+		name, in, want string
+	}{
+		{"plain", "hello world", "hello world"},
+		{"emoji", "great app \U0001F600 love it", "great app love it"},
+		{"accents", "café app", "caf app"},
+		{"newlines", "line1\nline2\tline3", "line1 line2 line3"},
+		{"empty", "", ""},
+		{"only emoji", "\U0001F600\U0001F600", ""},
+		{"leading emoji", "\U0001F600hello", "hello"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := StripNonASCII(tt.in); got != tt.want {
+				t.Errorf("StripNonASCII(%q) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStripNonASCIIProperty(t *testing.T) {
+	// Property: output contains only printable ASCII.
+	f := func(s string) bool {
+		out := StripNonASCII(s)
+		for i := 0; i < len(out); i++ {
+			if out[i] < 0x20 || out[i] >= 0x7f {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"simple", "the app crashes", []string{"the", "app", "crashes"}},
+		{"contraction", "doesn't work", []string{"doesn't", "work"}},
+		{"number", "404 error", []string{"404", "error"}},
+		{"version", "version 7.0 broken", []string{"version", "7.0", "broken"}},
+		{"mixed", "k9 mail", []string{"k9", "mail"}},
+		{"punct runs", "crash!!! again", []string{"crash", "!!!", "again"}},
+		{"quotes", `says "failed to send"`, []string{"says", `"`, "failed", "to", "send", `"`}},
+		{"empty", "", nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			toks := Tokenize(tt.in)
+			got := make([]string, 0, len(toks))
+			for _, tok := range toks {
+				got = append(got, tok.Lower)
+			}
+			if len(got) == 0 {
+				got = nil
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTokenizeOffsets(t *testing.T) {
+	in := "app crashed today"
+	for _, tok := range Tokenize(in) {
+		if got := in[tok.Start : tok.Start+len(tok.Text)]; got != tok.Text {
+			t.Errorf("offset mismatch: token %q at %d, source slice %q", tok.Text, tok.Start, got)
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	got := Words("The app, sadly, crashed 3 times!")
+	want := []string{"the", "app", "sadly", "crashed", "3", "times"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Words = %v, want %v", got, want)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{
+			name: "two sentences",
+			in:   "The app crashes. I cannot use it.",
+			want: []string{"The app crashes.", "I cannot use it."},
+		},
+		{
+			name: "exclamation",
+			in:   "Crash after crash! Uninstall very fast!",
+			want: []string{"Crash after crash!", "Uninstall very fast!"},
+		},
+		{
+			name: "quoted error message not split",
+			in:   `it just says "c:geo can't load data. required to log visit" every time.`,
+			want: []string{`it just says "c:geo can't load data. required to log visit" every time.`},
+		},
+		{
+			name: "version number not split",
+			in:   "Broken since version 5.2 on my phone.",
+			want: []string{"Broken since version 5.2 on my phone."},
+		},
+		{
+			name: "ellipsis",
+			in:   "It crashes... every single time.",
+			want: []string{"It crashes...", "every single time."},
+		},
+		{
+			name: "no final punct",
+			in:   "Sometimes not working",
+			want: []string{"Sometimes not working"},
+		},
+		{name: "empty", in: "", want: nil},
+		{
+			name: "abbreviation",
+			in:   "It fails e.g. when syncing.",
+			want: []string{"It fails e.g. when syncing."},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := SplitSentences(tt.in)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("SplitSentences(%q) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSplitSentencesProperty(t *testing.T) {
+	// Property: concatenating sentence words equals the words of the input.
+	f := func(s string) bool {
+		var joined []string
+		for _, sent := range SplitSentences(s) {
+			joined = append(joined, Words(sent)...)
+		}
+		return strings.Join(joined, " ") == strings.Join(Words(StripNonASCII(s)), " ")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "xyz", 3},
+		{"kitten", "sitting", 3},
+		{"crashs", "crashes", 1},
+		{"recieve", "receive", 2},
+		{"flaw", "lawn", 2},
+	}
+	for _, tt := range tests {
+		if got := Levenshtein(tt.a, tt.b); got != tt.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetry := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetry, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	triangle := func(a, b, c string) bool {
+		if len(a) > 20 || len(b) > 20 || len(c) > 20 {
+			return true
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+func TestLevenshteinAtMost(t *testing.T) {
+	if !LevenshteinAtMost("crashs", "crashes", 1) {
+		t.Error("crashs/crashes should be within distance 1")
+	}
+	if LevenshteinAtMost("hello", "world", 2) {
+		t.Error("hello/world should not be within distance 2")
+	}
+	if LevenshteinAtMost("a", "abcd", 2) {
+		t.Error("length delta 3 cannot be within distance 2")
+	}
+}
