@@ -1,0 +1,39 @@
+# ReviewSolver offline CI harness. Every target runs without network
+# access; `make ci` is the full gate the driver runs on each PR.
+
+GO      ?= go
+BENCHDIR ?= bench
+TOL     ?= 0.02
+
+.PHONY: ci fmt vet build test race benchgate bench update-baselines clean
+
+ci:
+	./ci.sh
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/...
+
+benchgate:
+	$(GO) run ./cmd/benchgate -dir $(BENCHDIR) -tol $(TOL)
+
+update-baselines:
+	$(GO) run ./cmd/benchgate -dir $(BENCHDIR) -tol $(TOL) -update
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+clean:
+	$(GO) clean ./...

@@ -5,6 +5,7 @@
 package reviewsolver
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -269,5 +270,94 @@ func BenchmarkReleaseDiff(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		apk.DiffClasses(prev, cur)
+	}
+}
+
+// --- snapshot & pool benchmarks (shared precomputed matching state) ---------------
+
+func throughputInputs(n int) (*synth.AppData, []core.ReviewInput) {
+	app := k9()
+	if n > len(app.Reviews) {
+		n = len(app.Reviews)
+	}
+	inputs := make([]core.ReviewInput, 0, n)
+	for _, rv := range app.Reviews[:n] {
+		inputs = append(inputs, core.ReviewInput{Text: rv.Text, PublishedAt: rv.PublishedAt})
+	}
+	return app, inputs
+}
+
+// BenchmarkSequentialThroughput is the seed baseline: one sequential solver
+// draining a 100-review batch.
+func BenchmarkSequentialThroughput(b *testing.B) {
+	app, inputs := throughputInputs(100)
+	solver := core.New()
+	for _, r := range app.App.Releases {
+		solver.StaticFor(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range inputs {
+			solver.LocalizeReview(app.App, in.Text, in.PublishedAt)
+		}
+	}
+}
+
+// BenchmarkPoolThroughput drains the same 100-review batch through a
+// NumCPU-worker pool whose workers share one precomputed Snapshot. On a
+// multi-core runner this scales with the worker count; compare against
+// BenchmarkSequentialThroughput.
+func BenchmarkPoolThroughput(b *testing.B) {
+	app, inputs := throughputInputs(100)
+	pool := core.NewPool(0)
+	pool.Snapshot().PrecomputeApp(app.App)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Localize(app.App, inputs)
+	}
+}
+
+// BenchmarkSnapshotWarmup measures the one-time cost of building the shared
+// precomputed state (catalog embeddings + all release extractions). A pool
+// of any size pays this exactly once.
+func BenchmarkSnapshotWarmup(b *testing.B) {
+	app := k9()
+	for i := 0; i < b.N; i++ {
+		sn := core.NewSnapshot()
+		sn.PrecomputeApp(app.App)
+	}
+}
+
+// BenchmarkPerWorkerWarmup measures the retired seed behaviour for
+// comparison: N workers each building a private solver and re-extracting
+// the same releases (what NewPool did before the Snapshot layer).
+func BenchmarkPerWorkerWarmup(b *testing.B) {
+	app := k9()
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2 // the seed pool duplicated state per worker even on one CPU
+	}
+	for i := 0; i < b.N; i++ {
+		for w := 0; w < workers; w++ {
+			s := core.New()
+			for _, r := range app.App.Releases {
+				s.StaticFor(r)
+			}
+		}
+	}
+}
+
+// BenchmarkParallelLocalizeReview measures single-review latency with the
+// chunked-parallel matcher fanned out across all CPUs.
+func BenchmarkParallelLocalizeReview(b *testing.B) {
+	app := k9()
+	sn := core.NewSnapshot()
+	sn.PrecomputeApp(app.App)
+	solver := core.NewWithSnapshot(sn, core.WithParallelism(0))
+	review := "It's a great app but i cannot fetch mail since the latest update"
+	when := app.App.Latest().ReleasedAt.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.LocalizeReview(app.App, review, when)
 	}
 }

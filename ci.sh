@@ -1,0 +1,40 @@
+#!/bin/sh
+# Offline CI gate for ReviewSolver: formatting, vet, build, tests, the
+# shared-snapshot race gate, and the benchgate metric-drift check. No step
+# touches the network (GOPROXY=off enforces it); any failure exits non-zero.
+set -eu
+cd "$(dirname "$0")"
+
+export GOPROXY=off
+export GOFLAGS=-mod=mod
+
+step() {
+	echo ""
+	echo "== $* =="
+}
+
+step gofmt
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+step "go vet"
+go vet ./...
+
+step "go build"
+go build ./...
+
+step "go test"
+go test ./...
+
+step "go test -race ./internal/core/..."
+go test -race ./internal/core/...
+
+step "benchgate (tier-1 table metric drift)"
+go run ./cmd/benchgate -dir "${BENCHDIR:-bench}" -tol "${TOL:-0.02}"
+
+echo ""
+echo "CI PASS"

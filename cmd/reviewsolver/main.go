@@ -34,13 +34,14 @@ func main() {
 
 func run() error {
 	var (
-		appPkg  = flag.String("app", "", "package id of a built-in generated app")
-		appFile = flag.String("appfile", "", "path to an app IR JSON file")
-		review  = flag.String("review", "", "review text to localize")
-		list    = flag.Bool("list", false, "list the built-in generated apps")
-		seed    = flag.Int64("seed", 1, "generator seed for built-in apps")
-		when    = flag.String("published", "", "review publication time (RFC 3339); default: after the latest release")
-		triage  = flag.Bool("triage", false, "triage the app's whole generated review corpus into a markdown report")
+		appPkg   = flag.String("app", "", "package id of a built-in generated app")
+		appFile  = flag.String("appfile", "", "path to an app IR JSON file")
+		review   = flag.String("review", "", "review text to localize")
+		list     = flag.Bool("list", false, "list the built-in generated apps")
+		seed     = flag.Int64("seed", 1, "generator seed for built-in apps")
+		when     = flag.String("published", "", "review publication time (RFC 3339); default: after the latest release")
+		triage   = flag.Bool("triage", false, "triage the app's whole generated review corpus into a markdown report")
+		parallel = flag.Int("parallel", 0, "similarity-matching fan-out per review: 0 = all CPUs, negative = sequential")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func run() error {
 		return nil
 	}
 	if *triage {
-		return runTriage(*appPkg, *seed)
+		return runTriage(*appPkg, *seed, *parallel)
 	}
 	if *review == "" {
 		return errors.New("missing -review text (or use -list / -triage)")
@@ -72,7 +73,9 @@ func run() error {
 
 	vec, clf := textclass.TrainOn(synth.TrainingCorpus(*seed),
 		func() textclass.Classifier { return textclass.NewBoostedTrees() })
-	solver := core.New(core.WithClassifier(vec, clf))
+	sn := core.NewSnapshot(core.WithClassifier(vec, clf))
+	sn.PrecomputeApp(app)
+	solver := core.NewWithSnapshot(sn, core.WithParallelism(*parallel))
 
 	res := solver.LocalizeReview(app, *review, publishedAt)
 	printResult(res, *review)
@@ -80,8 +83,9 @@ func run() error {
 }
 
 // runTriage localizes a built-in app's entire generated review corpus and
-// prints the markdown triage report.
-func runTriage(pkg string, seed int64) error {
+// prints the markdown triage report. The corpus is drained through a
+// snapshot-backed solver so static extraction happens once up front.
+func runTriage(pkg string, seed int64, parallel int) error {
 	if pkg == "" {
 		return errors.New("-triage requires -app <package>")
 	}
@@ -96,7 +100,9 @@ func runTriage(pkg string, seed int64) error {
 	}
 	vec, clf := textclass.TrainOn(synth.TrainingCorpus(seed),
 		func() textclass.Classifier { return textclass.NewBoostedTrees() })
-	solver := core.New(core.WithClassifier(vec, clf))
+	sn := core.NewSnapshot(core.WithClassifier(vec, clf))
+	sn.PrecomputeApp(data.App)
+	solver := core.NewWithSnapshot(sn, core.WithParallelism(parallel))
 	b := report.NewBuilder(solver, data.App)
 	for _, rv := range data.Reviews {
 		b.Add(rv.Text, rv.PublishedAt)

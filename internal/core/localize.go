@@ -89,28 +89,36 @@ func dedupMappings(ms []Mapping) []Mapping {
 // --- §4.1.1 App specific task -------------------------------------------------
 
 // localizeAppSpecific compares each review verb phrase against the verb
-// phrases derived from method names and Code2vec summaries.
+// phrases derived from method names and Code2vec summaries. The candidate
+// loop is chunked across workers (WithParallelism); chunk results merge in
+// candidate order, so output order matches the sequential pass exactly.
 func (s *Solver) localizeAppSpecific(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
 	var out []Mapping
 	for _, vp := range ra.VerbPhrases {
 		words := vp.Words()
 		v := s.vec.PhraseVector(words)
-		for _, mp := range info.MethodPhrases {
-			if wordvec.Cosine(v, mp.Vec) < s.vec.Threshold() {
-				continue
-			}
-			evidence := "method name " + mp.Method.Name
-			if mp.FromSummary {
-				evidence = "method summary [" + strings.Join(mp.Words, " ") + "]"
-			}
-			out = append(out, Mapping{
-				Phrase:   vp.String(),
-				Class:    mp.Method.Class,
-				Method:   mp.Method.Name,
-				Context:  ctxinfo.AppSpecificTask,
-				Evidence: evidence,
-			})
-		}
+		phraseText := vp.String()
+		out = append(out, parallelMappings(len(info.MethodPhrases), s.parallelism,
+			func(start, end int) []Mapping {
+				var part []Mapping
+				for _, mp := range info.MethodPhrases[start:end] {
+					if wordvec.Cosine(v, mp.Vec) < s.vec.Threshold() {
+						continue
+					}
+					evidence := "method name " + mp.Method.Name
+					if mp.FromSummary {
+						evidence = "method summary [" + strings.Join(mp.Words, " ") + "]"
+					}
+					part = append(part, Mapping{
+						Phrase:   phraseText,
+						Class:    mp.Method.Class,
+						Method:   mp.Method.Name,
+						Context:  ctxinfo.AppSpecificTask,
+						Evidence: evidence,
+					})
+				}
+				return part
+			})...)
 	}
 	return out
 }
@@ -195,7 +203,8 @@ func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
 }
 
 // matchInvisible compares a review phrase against the expanded widget-id
-// phrases of each activity.
+// phrases of each activity, using the label vectors precomputed at
+// extraction time.
 func (s *Solver) matchInvisible(phraseText string, words []string, info *StaticInfo) []Mapping {
 	var out []Mapping
 	v := s.vec.PhraseVector(contentOnly(words))
@@ -205,7 +214,13 @@ func (s *Solver) matchInvisible(phraseText string, words []string, info *StaticI
 			if len(idWords) == 0 {
 				continue
 			}
-			if wordvec.Cosine(v, s.vec.PhraseVector(idWords)) < s.vec.Threshold() {
+			var idVec wordvec.Vector
+			if info.invisibleVecs != nil {
+				idVec = info.invisibleVecs[gi][wi]
+			} else {
+				idVec = s.vec.PhraseVector(idWords)
+			}
+			if wordvec.Cosine(v, idVec) < s.vec.Threshold() {
 				continue
 			}
 			out = append(out, Mapping{
@@ -495,47 +510,57 @@ var collectionVerbs = map[string]struct{}{
 }
 
 // localizeAPIURIIntent implements Algorithm 1: verb phrases against API
-// phrases, verb-phrase objects against URI nouns and intent nouns.
+// phrases, verb-phrase objects against URI nouns and intent nouns. The
+// whole-catalog API scan — the dominant Table 15 cost — is chunked across
+// workers with a deterministic candidate-order merge.
 func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
 	var out []Mapping
+	entries := s.catalogVecs()
 	for _, vp := range ra.VerbPhrases {
 		words := vp.Words()
 		v := s.vec.PhraseVector(words)
+		phraseText := vp.String()
 
 		// APIs (Algorithm 1 lines 3–10): the comparison runs over the whole
-		// documented catalog — the dominant Table 15 cost — and a match is
-		// reported only when the app actually invokes the API.
-		for _, entry := range s.catalogVecs() {
-			matched := false
-			for _, pv := range entry.vecs {
-				if wordvec.Cosine(v, pv) >= s.vec.Threshold() {
-					matched = true
-					break
-				}
-			}
-			// Permission-protected personal data: collection verb + object
-			// similar to the permission nouns.
-			if !matched && entry.api.Permission != "" {
-				if _, isCollect := collectionVerbs[vp.Verb]; isCollect && len(vp.Object) > 0 {
-					nouns := permissionNouns(s, entry.api.Permission)
-					if len(nouns) > 0 &&
-						s.vec.Similarity(vp.Object, nouns) >= s.vec.Threshold() {
-						matched = true
+		// documented catalog and a match is reported only when the app
+		// actually invokes the API.
+		out = append(out, parallelMappings(len(entries), s.parallelism,
+			func(start, end int) []Mapping {
+				var part []Mapping
+				for ei := start; ei < end; ei++ {
+					entry := &entries[ei]
+					matched := false
+					for _, pv := range entry.vecs {
+						if wordvec.Cosine(v, pv) >= s.vec.Threshold() {
+							matched = true
+							break
+						}
+					}
+					// Permission-protected personal data: collection verb +
+					// object similar to the permission nouns.
+					if !matched && entry.api.Permission != "" {
+						if _, isCollect := collectionVerbs[vp.Verb]; isCollect && len(vp.Object) > 0 {
+							nouns := permissionNouns(s, entry.api.Permission)
+							if len(nouns) > 0 &&
+								s.vec.Similarity(vp.Object, nouns) >= s.vec.Threshold() {
+								matched = true
+							}
+						}
+					}
+					if !matched {
+						continue
+					}
+					for _, cls := range info.APIClasses(entry.api.Class, entry.api.Method) {
+						part = append(part, Mapping{
+							Phrase:   phraseText,
+							Class:    cls,
+							Context:  ctxinfo.APIURIIntent,
+							Evidence: "API " + entry.api.Signature(),
+						})
 					}
 				}
-			}
-			if !matched {
-				continue
-			}
-			for _, cls := range info.APIClasses(entry.api.Class, entry.api.Method) {
-				out = append(out, Mapping{
-					Phrase:   vp.String(),
-					Class:    cls,
-					Context:  ctxinfo.APIURIIntent,
-					Evidence: "API " + entry.api.Signature(),
-				})
-			}
-		}
+				return part
+			})...)
 
 		if len(vp.Object) == 0 {
 			continue

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// matchChunkMin is the smallest number of candidates one worker should own:
+// below roughly this size the goroutine hand-off costs more than the cosine
+// comparisons it saves.
+const matchChunkMin = 32
+
+// normalizeWorkers maps a requested worker count to an effective one:
+// 0 means runtime.NumCPU(), negative means strictly sequential.
+func normalizeWorkers(n int) int {
+	switch {
+	case n == 0:
+		return runtime.NumCPU()
+	case n < 0:
+		return 1
+	default:
+		return n
+	}
+}
+
+// parallelMappings evaluates fn over the index range [0, n) split into at
+// most `workers` contiguous chunks and concatenates the chunk results in
+// chunk order. Because every localizer appends mappings in candidate order,
+// the concatenation is byte-identical to a single sequential fn(0, n) pass —
+// rankings downstream cannot tell the two apart.
+func parallelMappings(n, workers int, fn func(start, end int) []Mapping) []Mapping {
+	if n == 0 {
+		return nil
+	}
+	if workers > n/matchChunkMin {
+		workers = n / matchChunkMin
+	}
+	if workers < 2 {
+		return fn(0, n)
+	}
+	parts := make([][]Mapping, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			continue
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			parts[w] = fn(start, end)
+		}(w, start, end)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Mapping, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"reflect"
+	"strconv"
+	"testing"
+
+	"reviewsolver/internal/ctxinfo"
+	"reviewsolver/internal/synth"
+)
+
+func TestNormalizeWorkers(t *testing.T) {
+	if got := normalizeWorkers(-5); got != 1 {
+		t.Errorf("normalizeWorkers(-5) = %d, want 1", got)
+	}
+	if got := normalizeWorkers(3); got != 3 {
+		t.Errorf("normalizeWorkers(3) = %d, want 3", got)
+	}
+	if got := normalizeWorkers(0); got < 1 {
+		t.Errorf("normalizeWorkers(0) = %d, want >= 1", got)
+	}
+}
+
+// TestParallelMappingsChunkOrder checks the deterministic merge: any worker
+// count must reproduce the sequential single-pass output exactly.
+func TestParallelMappingsChunkOrder(t *testing.T) {
+	gen := func(start, end int) []Mapping {
+		var out []Mapping
+		for i := start; i < end; i++ {
+			// Keep every third candidate so chunks produce ragged outputs.
+			if i%3 != 0 {
+				continue
+			}
+			out = append(out, Mapping{
+				Phrase:  "p" + strconv.Itoa(i),
+				Class:   "C" + strconv.Itoa(i),
+				Context: ctxinfo.AppSpecificTask,
+			})
+		}
+		return out
+	}
+	for _, n := range []int{0, 1, 31, 32, 64, 65, 100, 1000, 1001} {
+		want := gen(0, n)
+		for _, workers := range []int{1, 2, 3, 7, 16, 64} {
+			got := parallelMappings(n, workers, gen)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d workers=%d: parallel merge differs from sequential (len %d vs %d)",
+					n, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestParallelRankingMatchesSequential is the property test of the CI gate:
+// across seeded synthetic corpora, a solver with a chunked-parallel matcher
+// must produce byte-identical mappings and rankings to the sequential path.
+func TestParallelRankingMatchesSequential(t *testing.T) {
+	for _, seed := range []int64{3, 7, 21} {
+		data := synth.GenerateSample(seed)
+		app := data.App
+
+		seq := New()
+		par := New(WithParallelism(8))
+
+		// The parallel path must actually engage on the catalog scan for the
+		// property to mean anything.
+		if n := len(par.catalogVecs()); n < 2*matchChunkMin {
+			t.Fatalf("catalog too small (%d) for the parallel matcher to engage", n)
+		}
+
+		reviews := data.Reviews
+		if len(reviews) > 25 {
+			reviews = reviews[:25]
+		}
+		for i, rv := range reviews {
+			want := seq.LocalizeReview(app, rv.Text, rv.PublishedAt)
+			got := par.LocalizeReview(app, rv.Text, rv.PublishedAt)
+			if !reflect.DeepEqual(got.Mappings, want.Mappings) {
+				t.Fatalf("seed %d review %d: parallel mappings differ from sequential", seed, i)
+			}
+			if !reflect.DeepEqual(got.Ranked, want.Ranked) {
+				t.Fatalf("seed %d review %d: parallel ranking differs from sequential", seed, i)
+			}
+		}
+	}
+}
+
+// TestSnapshotParallelSolverMatchesSequential combines both layers: a
+// snapshot-backed solver with inner parallelism vs the plain sequential
+// solver.
+func TestSnapshotParallelSolverMatchesSequential(t *testing.T) {
+	apps, inputs := poolInputs(20)
+	app := apps[0].App
+
+	seq := New()
+	sn := NewSnapshot()
+	par := NewWithSnapshot(sn, WithParallelism(4))
+
+	for i, in := range inputs {
+		want := seq.LocalizeReview(app, in.Text, in.PublishedAt)
+		got := par.LocalizeReview(app, in.Text, in.PublishedAt)
+		if !reflect.DeepEqual(got.Mappings, want.Mappings) {
+			t.Fatalf("input %d: snapshot+parallel mappings differ from sequential", i)
+		}
+		assertSameRanking(t, i, got.RankedClassNames(), want.RankedClassNames())
+	}
+}

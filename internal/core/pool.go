@@ -15,46 +15,64 @@ type ReviewInput struct {
 	PublishedAt time.Time
 }
 
-// Pool localizes review batches concurrently. A Solver is not safe for
-// concurrent use (its embedding and static-analysis caches are plain maps),
-// so the pool owns one Solver per worker; results are returned in input
+// Pool localizes review batches concurrently. All workers share one
+// immutable Snapshot — the catalog embeddings and per-release static
+// extraction are computed once, not once per worker — so pool memory and
+// warm-up cost are flat in the worker count. Results are returned in input
 // order regardless of completion order.
 type Pool struct {
-	solvers []*Solver
+	snap    *Snapshot
+	solver  *Solver
+	workers int
 }
 
-// NewPool builds a pool of n workers, each with a Solver constructed from
-// the same options. n < 1 is treated as 1.
+// NewPool builds a pool of n workers sharing one Snapshot constructed from
+// the options. n == 0 means runtime.NumCPU() — the default for saturating
+// the machine. Negative n requests a single worker (strictly sequential
+// draining); it is accepted so callers can compute worker counts without
+// guarding against underflow.
 func NewPool(n int, opts ...Option) *Pool {
-	if n < 1 {
-		n = 1
+	return NewPoolWithSnapshot(n, NewSnapshot(opts...))
+}
+
+// NewPoolWithSnapshot builds a pool over an existing shared snapshot,
+// letting several pools (or pools plus standalone solvers) reuse the same
+// precomputed state. n follows the NewPool convention.
+func NewPoolWithSnapshot(n int, sn *Snapshot) *Pool {
+	return &Pool{
+		snap:    sn,
+		solver:  NewWithSnapshot(sn),
+		workers: normalizeWorkers(n),
 	}
-	p := &Pool{solvers: make([]*Solver, n)}
-	for i := range p.solvers {
-		p.solvers[i] = New(opts...)
-	}
-	return p
 }
 
 // Size returns the number of workers.
-func (p *Pool) Size() int { return len(p.solvers) }
+func (p *Pool) Size() int { return p.workers }
+
+// Snapshot returns the shared precomputed state backing the pool.
+func (p *Pool) Snapshot() *Snapshot { return p.snap }
 
 // Localize runs the full pipeline over the batch and returns one Result per
-// input, in input order. All workers exit before Localize returns.
+// input, in input order. All workers exit before Localize returns. Localize
+// is itself safe to call concurrently: every worker reads through the
+// shared snapshot.
 func (p *Pool) Localize(app *apk.App, reviews []ReviewInput) []*Result {
 	results := make([]*Result, len(reviews))
 	if len(reviews) == 0 {
 		return results
 	}
+	workers := p.workers
+	if workers > len(reviews) {
+		workers = len(reviews)
+	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < len(p.solvers); w++ {
-		solver := p.solvers[w]
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = solver.LocalizeReview(app, reviews[i].Text, reviews[i].PublishedAt)
+				results[i] = p.solver.LocalizeReview(app, reviews[i].Text, reviews[i].PublishedAt)
 			}
 		}()
 	}

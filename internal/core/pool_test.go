@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"reviewsolver/internal/synth"
@@ -51,12 +52,18 @@ func TestPoolMatchesSequential(t *testing.T) {
 
 func TestPoolEdgeCases(t *testing.T) {
 	apps, _ := poolInputs(0)
-	pool := NewPool(0) // clamps to 1
-	if pool.Size() != 1 {
-		t.Errorf("Size = %d, want 1", pool.Size())
+	pool := NewPool(0) // zero value means all CPUs
+	if want := runtime.NumCPU(); pool.Size() != want {
+		t.Errorf("NewPool(0).Size() = %d, want runtime.NumCPU() = %d", pool.Size(), want)
 	}
 	if got := pool.Localize(apps[0].App, nil); len(got) != 0 {
 		t.Errorf("empty batch returned %d results", len(got))
+	}
+	if neg := NewPool(-3); neg.Size() != 1 {
+		t.Errorf("NewPool(-3).Size() = %d, want 1 (negative n is sequential)", neg.Size())
+	}
+	if pool.Snapshot() == nil {
+		t.Error("pool has no snapshot")
 	}
 }
 

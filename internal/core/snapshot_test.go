@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSnapshotSolverMatchesSequential(t *testing.T) {
+	apps, inputs := poolInputs(30)
+	app := apps[0].App
+
+	seq := New()
+	sn := NewSnapshot()
+	shared := NewWithSnapshot(sn)
+
+	for i, in := range inputs {
+		want := seq.LocalizeReview(app, in.Text, in.PublishedAt)
+		got := shared.LocalizeReview(app, in.Text, in.PublishedAt)
+		assertSameRanking(t, i, got.RankedClassNames(), want.RankedClassNames())
+	}
+}
+
+func TestSnapshotStaticSingleExtraction(t *testing.T) {
+	apps, _ := poolInputs(0)
+	release := apps[0].App.Latest()
+	sn := NewSnapshot()
+
+	const goroutines = 8
+	infos := make([]*StaticInfo, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			infos[g] = sn.StaticFor(release)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if infos[g] != infos[0] {
+			t.Fatalf("goroutine %d saw a different StaticInfo pointer: extraction ran more than once", g)
+		}
+	}
+}
+
+func TestSnapshotPrecompute(t *testing.T) {
+	apps, _ := poolInputs(0)
+	app := apps[0].App
+	sn := NewSnapshot()
+	sn.PrecomputeApp(app)
+	for _, r := range app.Releases {
+		before := sn.StaticFor(r)
+		if before == nil {
+			t.Fatalf("release %s not precomputed", r.Version)
+		}
+		if again := sn.StaticFor(r); again != before {
+			t.Fatalf("release %s re-extracted after Precompute", r.Version)
+		}
+	}
+	if sn.CatalogSize() == 0 {
+		t.Fatal("catalog phrase vectors not precomputed")
+	}
+}
+
+// TestSnapshotConcurrentPoolBatches is the shared-snapshot concurrency test
+// of the CI race gate: many concurrent Pool.Localize batches run against
+// one Snapshot, and every batch must come back input-ordered and identical
+// to the sequential solver's output.
+func TestSnapshotConcurrentPoolBatches(t *testing.T) {
+	apps, inputs := poolInputs(40)
+	app := apps[0].App
+
+	seq := New()
+	want := make([][]string, len(inputs))
+	for i, in := range inputs {
+		want[i] = seq.LocalizeReview(app, in.Text, in.PublishedAt).RankedClassNames()
+	}
+
+	sn := NewSnapshot()
+	pools := []*Pool{
+		NewPoolWithSnapshot(4, sn),
+		NewPoolWithSnapshot(2, sn),
+		NewPoolWithSnapshot(3, sn),
+	}
+
+	const batchesPerPool = 3
+	var wg sync.WaitGroup
+	for _, pool := range pools {
+		for b := 0; b < batchesPerPool; b++ {
+			wg.Add(1)
+			go func(pool *Pool) {
+				defer wg.Done()
+				got := pool.Localize(app, inputs)
+				for i, res := range got {
+					if res == nil {
+						t.Errorf("nil result at input %d", i)
+						return
+					}
+					names := res.RankedClassNames()
+					if len(names) != len(want[i]) {
+						t.Errorf("input %d: concurrent pool %v vs sequential %v", i, names, want[i])
+						return
+					}
+					for k := range names {
+						if names[k] != want[i][k] {
+							t.Errorf("input %d rank %d: concurrent pool %q vs sequential %q",
+								i, k, names[k], want[i][k])
+							return
+						}
+					}
+				}
+			}(pool)
+		}
+	}
+	wg.Wait()
+}
+
+func TestWithWordModelDetachesSnapshot(t *testing.T) {
+	sn := NewSnapshot()
+	s := NewWithSnapshot(sn)
+	if s.snap != sn {
+		t.Fatal("snapshot not attached")
+	}
+	apps, _ := poolInputs(0)
+	release := apps[0].App.Latest()
+
+	detached := NewWithSnapshot(sn, WithWordModel(s.vec))
+	if detached.snap != nil {
+		t.Fatal("WithWordModel must detach the snapshot")
+	}
+	if detached.staticCache == nil {
+		t.Fatal("detached solver needs a private static cache")
+	}
+	if info := detached.StaticFor(release); info == nil {
+		t.Fatal("detached solver cannot extract")
+	}
+}
+
+func assertSameRanking(t *testing.T, input int, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("input %d: ranking %v, want %v", input, got, want)
+	}
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("input %d rank %d: %q, want %q", input, k, got[k], want[k])
+		}
+	}
+}

@@ -36,12 +36,22 @@ type Solver struct {
 	// obfuscated ones.
 	summarizeAll bool
 
+	// parallelism bounds the fan-out of the phrase×candidate matching
+	// loops (§4.1.1 and Algorithm 1). 1 means strictly sequential.
+	parallelism int
+
+	// snap, when set, is the shared immutable precomputed state this
+	// solver reads through instead of its private caches below.
+	snap *Snapshot
+
 	// staticCache memoizes the §3.3 extraction per release pointer.
+	// Unused (nil) when snap is set.
 	staticCache map[*apk.Release]*StaticInfo
 
 	// catalogVecCache holds the describing-phrase embeddings of the whole
 	// framework catalog (Algorithm 1 compares each review phrase against
-	// every documented API, not only the ones the app calls).
+	// every documented API, not only the ones the app calls). Unused when
+	// snap is set.
 	catalogVecCache []catalogAPI
 }
 
@@ -51,11 +61,21 @@ type catalogAPI struct {
 	vecs []wordvec.Vector
 }
 
-// catalogVecs lazily builds the full-catalog phrase-vector table.
+// catalogVecs returns the full-catalog phrase-vector table: the shared
+// snapshot's precomputed copy when attached, a lazily built private one
+// otherwise.
 func (s *Solver) catalogVecs() []catalogAPI {
-	if s.catalogVecCache != nil {
-		return s.catalogVecCache
+	if s.snap != nil {
+		return s.snap.catalogVecs
 	}
+	if s.catalogVecCache == nil {
+		s.catalogVecCache = s.buildCatalogVecs()
+	}
+	return s.catalogVecCache
+}
+
+// buildCatalogVecs embeds the describing phrases of every documented API.
+func (s *Solver) buildCatalogVecs() []catalogAPI {
 	apis := s.catalog.APIs()
 	out := make([]catalogAPI, 0, len(apis))
 	for _, api := range apis {
@@ -65,7 +85,6 @@ func (s *Solver) catalogVecs() []catalogAPI {
 		}
 		out = append(out, entry)
 	}
-	s.catalogVecCache = out
 	return out
 }
 
@@ -93,12 +112,26 @@ func WithSummarizeAll() Option {
 }
 
 // WithWordModel overrides the word-embedding model (ablations use it to
-// compare semantic matching against near-exact thresholds).
+// compare semantic matching against near-exact thresholds). Installing a
+// different model detaches the solver from any shared Snapshot, whose
+// precomputed embeddings would no longer be valid.
 func WithWordModel(m *wordvec.Model) Option {
 	return func(s *Solver) {
 		s.vec = m
 		s.catalogVecCache = nil
+		if s.snap != nil {
+			s.snap = nil
+			s.staticCache = make(map[*apk.Release]*StaticInfo)
+		}
 	}
+}
+
+// WithParallelism bounds the worker fan-out of the inner phrase×candidate
+// matching loops. n == 0 means runtime.NumCPU(); n < 0 (like n == 1) means
+// strictly sequential. The parallel path merges chunk results
+// deterministically, so rankings are identical to the sequential path.
+func WithParallelism(n int) Option {
+	return func(s *Solver) { s.parallelism = normalizeWorkers(n) }
 }
 
 // WithQAIndex installs the general-task Q&A index (§4.2.2).
@@ -126,6 +159,7 @@ func New(opts ...Option) *Solver {
 		sentiment:   sentiment.SentiStrength{},
 		qaIndex:     qa.NewIndex(catalog, qa.GenerateCorpus(catalog)),
 		staticCache: make(map[*apk.Release]*StaticInfo),
+		parallelism: 1,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -148,8 +182,14 @@ func (s *Solver) IsErrorReview(text string) bool {
 	return s.classifier.Predict(s.vectorizer.Transform(text))
 }
 
-// StaticFor returns the (cached) §3.3 extraction for a release.
+// StaticFor returns the (cached) §3.3 extraction for a release. Snapshot-
+// backed solvers read through the shared concurrency-safe snapshot cache;
+// standalone solvers keep the legacy private map (not safe for concurrent
+// use — share work through a Snapshot instead).
 func (s *Solver) StaticFor(r *apk.Release) *StaticInfo {
+	if s.snap != nil {
+		return s.snap.StaticFor(r)
+	}
 	if info, ok := s.staticCache[r]; ok {
 		return info
 	}

@@ -94,6 +94,12 @@ type StaticInfo struct {
 	// (6) visible and (7) invisible GUI label information.
 	GUIs []gui.ActivityGUI
 
+	// invisibleVecs[i][j] is the precomputed phrase embedding of
+	// GUIs[i].InvisibleWords[j], so query-time widget matching never
+	// re-embeds static label text (the zero vector marks empty id-word
+	// lists).
+	invisibleVecs [][]wordvec.Vector
+
 	// Exceptions thrown/caught by developer methods.
 	Exceptions []apg.ExceptionSite
 }
@@ -116,7 +122,26 @@ func (s *Solver) ExtractStatic(r *apk.Release) *StaticInfo {
 	info.extractIntents(s, g)
 	info.extractMessages(g)
 	info.extractMethodPhrases(s, g)
+	info.embedInvisibleLabels(s)
 	return info
+}
+
+// embedInvisibleLabels precomputes the phrase vectors of every expanded
+// widget-id word list (§4.1.2), the per-query cost the GUI localizer would
+// otherwise pay on every review.
+func (info *StaticInfo) embedInvisibleLabels(s *Solver) {
+	info.invisibleVecs = make([][]wordvec.Vector, len(info.GUIs))
+	for gi := range info.GUIs {
+		g := &info.GUIs[gi]
+		vecs := make([]wordvec.Vector, len(g.InvisibleWords))
+		for wi, idWords := range g.InvisibleWords {
+			if len(idWords) == 0 {
+				continue
+			}
+			vecs[wi] = s.vec.PhraseVector(idWords)
+		}
+		info.invisibleVecs[gi] = vecs
+	}
 }
 
 // extractAPIs inventories the framework APIs the app calls, with their

@@ -18,6 +18,7 @@ package wordvec
 import (
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"reviewsolver/internal/textproc"
 )
@@ -32,8 +33,12 @@ const DefaultThreshold = 0.68
 // Vector is an embedding vector.
 type Vector [Dim]float64
 
-// Model maps words to vectors.
+// Model maps words to vectors. A Model is safe for concurrent use: word
+// vectors are deterministic functions of the word, and the memo cache is
+// guarded by a read-write lock, so any number of goroutines may share one
+// model (the core.Snapshot layer relies on this).
 type Model struct {
+	mu        sync.RWMutex
 	cache     map[string]Vector
 	groupOf   map[string]int // word → synonym group index
 	topicOf   map[int]string // group index → topic anchor name
@@ -82,12 +87,24 @@ const (
 )
 
 // Vector returns the embedding of a lower-cased word. Vectors are memoised;
-// the model is not safe for concurrent first-use of the same word, so share
-// a model only after warm-up or use one per goroutine.
+// concurrent first-use of the same word may compute it twice, but both
+// computations produce the identical deterministic vector.
 func (m *Model) Vector(word string) Vector {
-	if v, ok := m.cache[word]; ok {
+	m.mu.RLock()
+	v, ok := m.cache[word]
+	m.mu.RUnlock()
+	if ok {
 		return v
 	}
+	v = m.computeVector(word)
+	m.mu.Lock()
+	m.cache[word] = v
+	m.mu.Unlock()
+	return v
+}
+
+// computeVector derives the deterministic embedding of one word.
+func (m *Model) computeVector(word string) Vector {
 	var v Vector
 	if gi, ok := m.groupOf[word]; ok {
 		topic := hashVector("topic:" + m.topicOf[gi])
@@ -107,7 +124,6 @@ func (m *Model) Vector(word string) Vector {
 		}
 	}
 	normalize(&v)
-	m.cache[word] = v
 	return v
 }
 

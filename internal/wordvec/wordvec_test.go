@@ -2,6 +2,7 @@ package wordvec
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -167,4 +168,37 @@ func TestGroupCount(t *testing.T) {
 	if GroupCount() < 60 {
 		t.Errorf("synonym lexicon suspiciously small: %d groups", GroupCount())
 	}
+}
+
+// TestConcurrentVector exercises the lock-guarded memo cache: concurrent
+// first-use of the same words must be race-free and produce the same
+// deterministic vectors a cold sequential model computes.
+func TestConcurrentVector(t *testing.T) {
+	words := []string{
+		"mail", "email", "photo", "crash", "login", "upload", "download",
+		"message", "button", "screen", "fetch", "send", "sync", "account",
+	}
+	ref := NewModel()
+	want := make([]Vector, len(words))
+	for i, w := range words {
+		want[i] = ref.Vector(w)
+	}
+
+	shared := NewModel()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for i, w := range words {
+					if got := shared.Vector(w); got != want[i] {
+						t.Errorf("goroutine %d: Vector(%q) diverged", g, w)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
