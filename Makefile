@@ -5,7 +5,7 @@ GO      ?= go
 BENCHDIR ?= bench
 TOL     ?= 0.02
 
-.PHONY: ci fmt vet build test race benchgate bench update-baselines clean
+.PHONY: ci fmt vet build test race benchgate bench bench-all update-baselines clean
 
 ci:
 	./ci.sh
@@ -32,7 +32,13 @@ benchgate:
 update-baselines:
 	$(GO) run ./cmd/benchgate -dir $(BENCHDIR) -tol $(TOL) -update
 
+# Kernel benchmark smoke: one iteration of the similarity-kernel micro
+# benchmarks and the end-to-end localization comparison. Fast enough for CI;
+# catches "kernel path silently disabled" and compile rot in the benchmarks.
 bench:
+	$(GO) test -run xxx -bench 'CosineVsDot|MatrixScan|LocalizeReview|KernelVsLegacy' -benchtime 1x .
+
+bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 clean:

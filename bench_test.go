@@ -348,7 +348,8 @@ func BenchmarkPerWorkerWarmup(b *testing.B) {
 }
 
 // BenchmarkParallelLocalizeReview measures single-review latency with the
-// chunked-parallel matcher fanned out across all CPUs.
+// chunked-parallel matcher fanned out across all CPUs (kernel path: the
+// default flattened dot scans with the anchor prescreen).
 func BenchmarkParallelLocalizeReview(b *testing.B) {
 	app := k9()
 	sn := core.NewSnapshot()
@@ -360,4 +361,133 @@ func BenchmarkParallelLocalizeReview(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		solver.LocalizeReview(app.App, review, when)
 	}
+}
+
+// BenchmarkLegacyParallelLocalizeReview is the before side of the kernel
+// comparison: the same snapshot+parallel configuration forced onto the
+// retired per-struct full-cosine matcher.
+func BenchmarkLegacyParallelLocalizeReview(b *testing.B) {
+	app := k9()
+	sn := core.NewSnapshot()
+	sn.PrecomputeApp(app.App)
+	solver := core.NewWithSnapshot(sn, core.WithParallelism(0), core.WithLegacyCosine())
+	review := "It's a great app but i cannot fetch mail since the latest update"
+	when := app.App.Latest().ReleasedAt.Add(24 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solver.LocalizeReview(app.App, review, when)
+	}
+}
+
+// BenchmarkSequentialKernelVsLegacy isolates the matcher itself: one
+// sequential solver per path, no worker fan-out, so the ns/op ratio is the
+// pure kernel-vs-cosine speedup on the Table 15 hot loops.
+func BenchmarkSequentialKernelVsLegacy(b *testing.B) {
+	app := k9()
+	review := "It's a great app but i cannot fetch mail since the latest update"
+	when := app.App.Latest().ReleasedAt.Add(24 * time.Hour)
+	for _, cfg := range []struct {
+		name string
+		opts []core.Option
+	}{
+		{"kernel", nil},
+		{"legacy", []core.Option{core.WithLegacyCosine()}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			solver := core.New(cfg.opts...)
+			for _, r := range app.App.Releases {
+				solver.StaticFor(r)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solver.LocalizeReview(app.App, review, when)
+			}
+		})
+	}
+}
+
+// --- similarity kernel micro-benchmarks -------------------------------------------
+
+// BenchmarkCosineVsDot compares the per-candidate kernels: full cosine (two
+// redundant norms + sqrt + divide) against the dot-only unrolled kernel the
+// unit-vector invariant allows.
+func BenchmarkCosineVsDot(b *testing.B) {
+	m := wordvec.NewModel()
+	q := m.PhraseVector([]string{"fetch", "mail"})
+	c := m.PhraseVector([]string{"get", "email"})
+	b.Run("Cosine", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			acc += wordvec.Cosine(q, c)
+		}
+		sinkFloat = acc
+	})
+	b.Run("Dot", func(b *testing.B) {
+		var acc float64
+		for i := 0; i < b.N; i++ {
+			acc += wordvec.Dot(q, c)
+		}
+		sinkFloat = acc
+	})
+}
+
+// sinkFloat defeats dead-code elimination in the kernel micro-benchmarks.
+var sinkFloat float64
+
+// benchScanMatrix builds a catalog-sized candidate matrix from lexicon-ish
+// phrases.
+func benchScanMatrix(rows int) (*wordvec.Model, *wordvec.Matrix, []wordvec.Vector) {
+	m := wordvec.NewModel()
+	seeds := [][]string{
+		{"send", "message"}, {"upload", "photo"}, {"delete", "file"},
+		{"open", "connection"}, {"read", "contact"}, {"play", "audio"},
+		{"query", "database"}, {"parse", "response"}, {"render", "page"},
+		{"validate", "input"},
+	}
+	mat := wordvec.NewMatrix(rows)
+	vecs := make([]wordvec.Vector, 0, rows)
+	for i := 0; i < rows; i++ {
+		p := append([]string(nil), seeds[i%len(seeds)]...)
+		p = append(p, string(rune('a'+i%26))+"x"+string(rune('a'+(i/26)%26)))
+		v := m.PhraseVector(p)
+		mat.Append(v)
+		vecs = append(vecs, v)
+	}
+	mat.Finish()
+	return m, mat, vecs
+}
+
+// BenchmarkMatrixScan compares one query against 1024 candidates three
+// ways: the retired per-struct cosine loop, the flat DotBatch kernel, and
+// the prescreened threshold scan.
+func BenchmarkMatrixScan(b *testing.B) {
+	m, mat, vecs := benchScanMatrix(1024)
+	qv := m.PhraseVector([]string{"send", "text"})
+	threshold := m.Threshold()
+	b.Run("PerStructCosine", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			for _, c := range vecs {
+				if wordvec.Cosine(qv, c) >= threshold {
+					n++
+				}
+			}
+		}
+		sinkFloat = float64(n)
+	})
+	b.Run("DotBatch", func(b *testing.B) {
+		out := make([]float64, mat.Rows())
+		for i := 0; i < b.N; i++ {
+			wordvec.DotBatch(qv, mat.Data(), out)
+		}
+		sinkFloat = out[0]
+	})
+	b.Run("PrescreenScan", func(b *testing.B) {
+		q := wordvec.PrepareQuery(qv)
+		n := 0
+		for i := 0; i < b.N; i++ {
+			mat.ScanThreshold(&q, threshold, 0, mat.Rows(), func(int, float64) { n++ })
+		}
+		sinkFloat = float64(n)
+	})
 }

@@ -33,8 +33,11 @@ go test ./...
 step "go test -race ./internal/core/..."
 go test -race ./internal/core/...
 
-step "benchgate (tier-1 table metric drift)"
+step "benchgate (tier-1 table metric drift + kernel scan stats)"
 go run ./cmd/benchgate -dir "${BENCHDIR:-bench}" -tol "${TOL:-0.02}"
+
+step "bench smoke (kernel benchmarks, 1 iteration)"
+go test -run xxx -bench 'CosineVsDot|MatrixScan|LocalizeReview|KernelVsLegacy' -benchtime 1x .
 
 echo ""
 echo "CI PASS"

@@ -58,6 +58,7 @@ func run() error {
 		tol    = flag.Float64("tol", 0.02, "relative drift tolerance per metric")
 		tables = flag.String("tables", "1-16", "tables to gate (comma list with ranges, e.g. 1,2,8-10)")
 		seed   = flag.Int64("seed", 1, "generator seed (must match the stored baselines)")
+		kernel = flag.Bool("kernel", true, "also gate the similarity-kernel scan snapshot (BENCH_KERNEL.json)")
 		update = flag.Bool("update", false, "rewrite the baselines from this run")
 	)
 	flag.Parse()
@@ -86,47 +87,76 @@ func run() error {
 			Metrics: tableMetrics(tab),
 		}
 		path := filepath.Join(*dir, fmt.Sprintf("BENCH_%d.json", n))
-		prev, err := readSnapshot(path)
-		switch {
-		case err != nil && os.IsNotExist(err):
-			if err := writeSnapshot(path, cur); err != nil {
-				return err
-			}
+		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, *tol, *update, fmt.Sprintf("table %2d", n))
+		if err != nil {
+			return err
+		}
+		if madeBaseline {
 			created++
-			fmt.Printf("table %2d: baseline created (%d metrics) — skipped\n", n, len(cur.Metrics))
-			continue
-		case err != nil:
-			return fmt.Errorf("read %s: %w", path, err)
 		}
-		if prev.Seed != *seed {
-			return fmt.Errorf("table %d: baseline seed %d does not match -seed %d (delete %s or rerun with the baseline seed)",
-				n, prev.Seed, *seed, path)
+		if drifted {
+			failed++
 		}
-		drifts := compareMetrics(prev.Metrics, cur.Metrics, *tol)
-		if *update {
-			if err := writeSnapshot(path, cur); err != nil {
-				return err
-			}
-			fmt.Printf("table %2d: baseline updated (%d metrics)\n", n, len(cur.Metrics))
-			continue
+	}
+	if *kernel {
+		cur := kernelSnapshot(*seed)
+		path := filepath.Join(*dir, "BENCH_KERNEL.json")
+		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, *tol, *update, "kernel  ")
+		if err != nil {
+			return err
 		}
-		if len(drifts) == 0 {
-			fmt.Printf("table %2d: ok (%d metrics within %.1f%%)\n", n, len(cur.Metrics), 100**tol)
-			continue
+		if madeBaseline {
+			created++
 		}
-		failed++
-		fmt.Printf("table %2d: DRIFT (%d metrics)\n", n, len(drifts))
-		for _, d := range drifts {
-			fmt.Printf("  %s\n", d)
+		if drifted {
+			failed++
 		}
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d table(s) drifted beyond tolerance %.3f (use -update to accept)", failed, *tol)
+		return fmt.Errorf("%d snapshot(s) drifted beyond tolerance %.3f (use -update to accept)", failed, *tol)
 	}
 	if created > 0 {
 		fmt.Printf("%d baseline(s) created; gate active on next run\n", created)
 	}
 	return nil
+}
+
+// gateSnapshot runs the create/compare/update cycle for one snapshot file.
+// It reports whether a fresh baseline was created and whether the current run
+// drifted from an existing one.
+func gateSnapshot(path string, cur snapshotFile, seed int64, tol float64, update bool, label string) (madeBaseline, drifted bool, err error) {
+	prev, err := readSnapshot(path)
+	switch {
+	case err != nil && os.IsNotExist(err):
+		if err := writeSnapshot(path, cur); err != nil {
+			return false, false, err
+		}
+		fmt.Printf("%s: baseline created (%d metrics) — skipped\n", label, len(cur.Metrics))
+		return true, false, nil
+	case err != nil:
+		return false, false, fmt.Errorf("read %s: %w", path, err)
+	}
+	if prev.Seed != seed {
+		return false, false, fmt.Errorf("%s: baseline seed %d does not match -seed %d (delete %s or rerun with the baseline seed)",
+			label, prev.Seed, seed, path)
+	}
+	if update {
+		if err := writeSnapshot(path, cur); err != nil {
+			return false, false, err
+		}
+		fmt.Printf("%s: baseline updated (%d metrics)\n", label, len(cur.Metrics))
+		return false, false, nil
+	}
+	drifts := compareMetrics(prev.Metrics, cur.Metrics, tol)
+	if len(drifts) == 0 {
+		fmt.Printf("%s: ok (%d metrics within %.1f%%)\n", label, len(cur.Metrics), 100*tol)
+		return false, false, nil
+	}
+	fmt.Printf("%s: DRIFT (%d metrics)\n", label, len(drifts))
+	for _, d := range drifts {
+		fmt.Printf("  %s\n", d)
+	}
+	return false, true, nil
 }
 
 // tableMetrics flattens a table's numeric cells into a stable key → value

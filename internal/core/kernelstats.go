@@ -1,0 +1,36 @@
+package core
+
+import (
+	"reviewsolver/internal/textproc"
+	"reviewsolver/internal/wordvec"
+)
+
+// This file exposes deterministic kernel instrumentation: how many
+// candidates the anchor prescreen skipped, evaluated, and matched for a
+// query phrase. The counts are pure functions of the embedding model and
+// the corpus, so cmd/benchgate snapshots them next to the table metrics —
+// a kernel or prescreen regression shows up as a count drift long before it
+// shows up as wall-clock noise.
+
+// KernelScanStats scans a release's method-phrase matrix (§4.1.1) with the
+// given query phrase and reports (pruned, evaluated, matched) row counts.
+func (s *Solver) KernelScanStats(info *StaticInfo, phrase string) (pruned, evaluated, matched int) {
+	q := wordvec.PrepareQuery(s.vec.PhraseVector(textproc.Words(phrase)))
+	return info.methodMatrix.ScanStats(&q, s.vec.Threshold())
+}
+
+// CatalogScanStats scans the full framework-catalog matrix (Algorithm 1)
+// with the given query phrase and reports (pruned, evaluated, matched) row
+// counts.
+func (s *Solver) CatalogScanStats(phrase string) (pruned, evaluated, matched int) {
+	q := wordvec.PrepareQuery(s.vec.PhraseVector(textproc.Words(phrase)))
+	return s.catalogVecs().matrix.ScanStats(&q, s.vec.Threshold())
+}
+
+// CatalogRows returns the number of flattened describing-phrase rows in the
+// catalog scan matrix.
+func (s *Solver) CatalogRows() int { return s.catalogVecs().matrix.Rows() }
+
+// MethodRows returns the number of method-phrase rows in a release's scan
+// matrix.
+func (info *StaticInfo) MethodRows() int { return info.methodMatrix.Rows() }

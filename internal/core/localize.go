@@ -91,20 +91,27 @@ func dedupMappings(ms []Mapping) []Mapping {
 // localizeAppSpecific compares each review verb phrase against the verb
 // phrases derived from method names and Code2vec summaries. The candidate
 // loop is chunked across workers (WithParallelism); chunk results merge in
-// candidate order, so output order matches the sequential pass exactly.
+// candidate order, so output order matches the sequential pass exactly. The
+// default matcher scans the flattened method-phrase matrix with the
+// dot-only kernel and anchor prescreen; WithLegacyCosine restores the
+// per-struct full-cosine pass (byte-identical output, property-tested).
 func (s *Solver) localizeAppSpecific(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
 	var out []Mapping
+	useKernel := !s.legacyCosine && info.methodMatrix != nil
+	threshold := s.vec.Threshold()
 	for _, vp := range ra.VerbPhrases {
 		words := vp.Words()
 		v := s.vec.PhraseVector(words)
 		phraseText := vp.String()
+		var q wordvec.Query
+		if useKernel {
+			q = wordvec.PrepareQuery(v)
+		}
 		out = append(out, parallelMappings(len(info.MethodPhrases), s.parallelism,
 			func(start, end int) []Mapping {
 				var part []Mapping
-				for _, mp := range info.MethodPhrases[start:end] {
-					if wordvec.Cosine(v, mp.Vec) < s.vec.Threshold() {
-						continue
-					}
+				emit := func(i int) {
+					mp := &info.MethodPhrases[i]
 					evidence := "method name " + mp.Method.Name
 					if mp.FromSummary {
 						evidence = "method summary [" + strings.Join(mp.Words, " ") + "]"
@@ -116,6 +123,17 @@ func (s *Solver) localizeAppSpecific(ra *ReviewAnalysis, info *StaticInfo) []Map
 						Context:  ctxinfo.AppSpecificTask,
 						Evidence: evidence,
 					})
+				}
+				if useKernel {
+					info.methodMatrix.ScanThreshold(&q, threshold, start, end,
+						func(row int, _ float64) { emit(row) })
+					return part
+				}
+				for i := start; i < end; i++ {
+					if wordvec.Cosine(v, info.MethodPhrases[i].Vec) < threshold {
+						continue
+					}
+					emit(i)
 				}
 				return part
 			})...)
@@ -203,11 +221,32 @@ func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
 }
 
 // matchInvisible compares a review phrase against the expanded widget-id
-// phrases of each activity, using the label vectors precomputed at
-// extraction time.
+// phrases of each activity. The default matcher scans the flattened
+// widget-id matrix (rows in the same nested GUI×widget order the legacy
+// loop visits, so output order is identical); WithLegacyCosine restores the
+// per-struct cosine pass over the label vectors precomputed at extraction
+// time.
 func (s *Solver) matchInvisible(phraseText string, words []string, info *StaticInfo) []Mapping {
 	var out []Mapping
 	v := s.vec.PhraseVector(contentOnly(words))
+	emit := func(gi, wi int) {
+		g := &info.GUIs[gi]
+		out = append(out, Mapping{
+			Phrase:   phraseText,
+			Class:    g.Activity,
+			Context:  ctxinfo.GUI,
+			Evidence: "widget id " + g.WidgetIDs[wi],
+		})
+	}
+	if !s.legacyCosine && info.invisibleMatrix != nil {
+		q := wordvec.PrepareQuery(v)
+		info.invisibleMatrix.ScanThreshold(&q, s.vec.Threshold(), 0, info.invisibleMatrix.Rows(),
+			func(row int, _ float64) {
+				ref := info.invisibleRows[row]
+				emit(int(ref.GUI), int(ref.Widget))
+			})
+		return out
+	}
 	for gi := range info.GUIs {
 		g := &info.GUIs[gi]
 		for wi, idWords := range g.InvisibleWords {
@@ -223,12 +262,7 @@ func (s *Solver) matchInvisible(phraseText string, words []string, info *StaticI
 			if wordvec.Cosine(v, idVec) < s.vec.Threshold() {
 				continue
 			}
-			out = append(out, Mapping{
-				Phrase:   phraseText,
-				Class:    g.Activity,
-				Context:  ctxinfo.GUI,
-				Evidence: "widget id " + g.WidgetIDs[wi],
-			})
+			emit(gi, wi)
 		}
 	}
 	return out
@@ -282,14 +316,22 @@ func contentOnly(words []string) []string {
 func (s *Solver) localizeErrorMessage(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
 	var out []Mapping
 
-	// Precise messages: quoted spans matched by normalized containment.
+	// Precise messages: quoted spans matched by normalized containment. The
+	// app messages are normalized once at extraction time (the seed
+	// retokenized every message per quoted span).
 	for _, quoted := range ra.Quoted {
 		nq := normalizeMessage(quoted)
 		if nq == "" {
 			continue
 		}
-		for _, msg := range info.Messages {
-			nm := normalizeMessage(msg.Text)
+		for mi := range info.Messages {
+			msg := &info.Messages[mi]
+			nm := ""
+			if info.normMessages != nil {
+				nm = info.normMessages[mi]
+			} else {
+				nm = normalizeMessage(msg.Text)
+			}
 			if nm == "" || !(strings.Contains(nm, nq) || strings.Contains(nq, nm)) {
 				continue
 			}
@@ -305,15 +347,24 @@ func (s *Solver) localizeErrorMessage(ra *ReviewAnalysis, info *StaticInfo) []Ma
 	}
 
 	// Error types: "connection error" → APIs whose descriptions mention the
-	// modifier → classes calling them.
+	// modifier → classes calling them. Descriptions are tokenized once at
+	// extraction time (the seed re-ran textproc.Words per (modifier, API)
+	// pair).
 	for _, np := range ra.NounPhrases {
 		mods := phrase.ErrorModifier(np)
 		if len(mods) == 0 {
 			continue
 		}
 		for _, mod := range mods {
-			for _, use := range info.APIs {
-				if !descriptionMentions(use.API.Description, mod, s.vec) {
+			for ai := range info.APIs {
+				use := &info.APIs[ai]
+				var words []string
+				if info.descWords != nil {
+					words = info.descWords[ai]
+				} else {
+					words = textproc.Words(use.API.Description)
+				}
+				if !descriptionMentions(words, mod, s.vec) {
 					continue
 				}
 				for _, cls := range use.Classes {
@@ -334,10 +385,10 @@ func normalizeMessage(s string) string {
 	return strings.Join(textproc.Words(s), " ")
 }
 
-// descriptionMentions reports whether an API description contains the word
-// or a synonym of it.
-func descriptionMentions(description, word string, vec *wordvec.Model) bool {
-	for _, w := range textproc.Words(description) {
+// descriptionMentions reports whether a tokenized API description contains
+// the word or a synonym of it.
+func descriptionMentions(descWords []string, word string, vec *wordvec.Model) bool {
+	for _, w := range descWords {
 		if w == word {
 			return true
 		}
@@ -512,39 +563,59 @@ var collectionVerbs = map[string]struct{}{
 // localizeAPIURIIntent implements Algorithm 1: verb phrases against API
 // phrases, verb-phrase objects against URI nouns and intent nouns. The
 // whole-catalog API scan — the dominant Table 15 cost — is chunked across
-// workers with a deterministic candidate-order merge.
+// workers with a deterministic candidate-order merge. The default matcher
+// scans the flattened catalog matrix with the dot-only kernel and anchor
+// prescreen, reading the permission-noun and URI/intent-noun vectors cached
+// at construction/extraction time; WithLegacyCosine restores the per-struct
+// full-cosine pass (byte-identical output, property-tested).
 func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
 	var out []Mapping
-	entries := s.catalogVecs()
+	table := s.catalogVecs()
+	useKernel := !s.legacyCosine
+	threshold := s.vec.Threshold()
 	for _, vp := range ra.VerbPhrases {
 		words := vp.Words()
 		v := s.vec.PhraseVector(words)
 		phraseText := vp.String()
+		_, isCollect := collectionVerbs[vp.Verb]
+		hasObject := len(vp.Object) > 0
+		var objVec wordvec.Vector
+		if hasObject {
+			objVec = s.vec.PhraseVector(vp.Object)
+		}
+		var q wordvec.Query
+		if useKernel {
+			q = wordvec.PrepareQuery(v)
+		}
 
 		// APIs (Algorithm 1 lines 3–10): the comparison runs over the whole
 		// documented catalog and a match is reported only when the app
 		// actually invokes the API.
-		out = append(out, parallelMappings(len(entries), s.parallelism,
+		out = append(out, parallelMappings(len(table.entries), s.parallelism,
 			func(start, end int) []Mapping {
 				var part []Mapping
 				for ei := start; ei < end; ei++ {
-					entry := &entries[ei]
+					entry := &table.entries[ei]
 					matched := false
-					for _, pv := range entry.vecs {
-						if wordvec.Cosine(v, pv) >= s.vec.Threshold() {
-							matched = true
-							break
+					if useKernel {
+						matched = table.matrix.AnyAtLeast(&q, threshold,
+							int(table.rowStart[ei]), int(table.rowStart[ei+1]))
+					} else {
+						for _, pv := range entry.vecs {
+							if wordvec.Cosine(v, pv) >= threshold {
+								matched = true
+								break
+							}
 						}
 					}
 					// Permission-protected personal data: collection verb +
-					// object similar to the permission nouns.
-					if !matched && entry.api.Permission != "" {
-						if _, isCollect := collectionVerbs[vp.Verb]; isCollect && len(vp.Object) > 0 {
-							nouns := permissionNouns(s, entry.api.Permission)
-							if len(nouns) > 0 &&
-								s.vec.Similarity(vp.Object, nouns) >= s.vec.Threshold() {
-								matched = true
-							}
+					// object similar to the permission nouns (cached per
+					// entry — the seed re-derived them per phrase×entry).
+					if !matched && isCollect && hasObject && len(entry.permNouns) > 0 {
+						if useKernel {
+							matched = wordvec.Dot(objVec, entry.permVec) >= threshold
+						} else {
+							matched = s.vec.Similarity(vp.Object, entry.permNouns) >= threshold
 						}
 					}
 					if !matched {
@@ -562,17 +633,23 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo) []Ma
 				return part
 			})...)
 
-		if len(vp.Object) == 0 {
+		if !hasObject {
 			continue
 		}
-		objVec := s.vec.PhraseVector(vp.Object)
 
 		// URIs (lines 11–18): object vs permission nouns of the URI.
-		for _, use := range info.URIs {
+		for ui := range info.URIs {
+			use := &info.URIs[ui]
 			if len(use.Nouns) == 0 {
 				continue
 			}
-			if wordvec.Cosine(objVec, s.vec.PhraseVector(use.Nouns)) < s.vec.Threshold() {
+			var sim float64
+			if useKernel && info.uriNounVecs != nil {
+				sim = wordvec.Dot(objVec, info.uriNounVecs[ui])
+			} else {
+				sim = wordvec.Cosine(objVec, s.vec.PhraseVector(use.Nouns))
+			}
+			if sim < threshold {
 				continue
 			}
 			for _, cls := range use.Classes {
@@ -586,10 +663,16 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo) []Ma
 		}
 
 		// Intents (lines 19–26): object vs common-intent nouns.
-		for _, use := range info.Intents {
+		for ii := range info.Intents {
+			use := &info.Intents[ii]
 			matched := false
-			for _, noun := range use.Nouns {
-				if s.vec.Similarity(vp.Object, []string{noun}) >= s.vec.Threshold() {
+			for ni, noun := range use.Nouns {
+				if useKernel && info.intentNounVecs != nil {
+					if wordvec.Dot(objVec, info.intentNounVecs[ii][ni]) >= threshold {
+						matched = true
+						break
+					}
+				} else if s.vec.Similarity(vp.Object, []string{noun}) >= threshold {
 					matched = true
 					break
 				}

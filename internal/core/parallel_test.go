@@ -64,7 +64,7 @@ func TestParallelRankingMatchesSequential(t *testing.T) {
 
 		// The parallel path must actually engage on the catalog scan for the
 		// property to mean anything.
-		if n := len(par.catalogVecs()); n < 2*matchChunkMin {
+		if n := len(par.catalogVecs().entries); n < 2*matchChunkMin {
 			t.Fatalf("catalog too small (%d) for the parallel matcher to engage", n)
 		}
 

@@ -36,8 +36,9 @@ type Snapshot struct {
 	// route back through the snapshot.
 	solver *Solver
 
-	// catalogVecs is the eagerly built full-catalog phrase-vector table.
-	catalogVecs []catalogAPI
+	// catalogVecs is the eagerly built full-catalog phrase table: per-API
+	// entries plus the flattened scan matrix with its prescreen sketch.
+	catalogVecs *catalogTable
 
 	mu     sync.Mutex
 	static map[*apk.Release]*staticEntry
@@ -133,4 +134,4 @@ func (sn *Snapshot) PrecomputeApp(app *apk.App) {
 
 // CatalogSize returns the number of framework APIs whose phrase embeddings
 // the snapshot precomputed.
-func (sn *Snapshot) CatalogSize() int { return len(sn.catalogVecs) }
+func (sn *Snapshot) CatalogSize() int { return len(sn.catalogVecs.entries) }

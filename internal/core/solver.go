@@ -40,6 +40,12 @@ type Solver struct {
 	// loops (§4.1.1 and Algorithm 1). 1 means strictly sequential.
 	parallelism int
 
+	// legacyCosine routes the phrase×candidate scans through the retired
+	// per-struct full-cosine path instead of the flattened dot kernel. The
+	// two paths produce byte-identical mappings (property-tested); the flag
+	// exists so the equivalence stays testable.
+	legacyCosine bool
+
 	// snap, when set, is the shared immutable precomputed state this
 	// solver reads through instead of its private caches below.
 	snap *Snapshot
@@ -52,19 +58,33 @@ type Solver struct {
 	// framework catalog (Algorithm 1 compares each review phrase against
 	// every documented API, not only the ones the app calls). Unused when
 	// snap is set.
-	catalogVecCache []catalogAPI
+	catalogVecCache *catalogTable
 }
 
-// catalogAPI pairs a framework API with its precomputed phrase embeddings.
+// catalogAPI pairs a framework API with its precomputed phrase embeddings
+// and, for permission-protected APIs, the nouns of the protecting
+// permission's description with their phrase embedding (hoisted out of the
+// Algorithm 1 inner loop — the seed recomputed them per phrase×entry).
 type catalogAPI struct {
-	api  sdk.API
-	vecs []wordvec.Vector
+	api       sdk.API
+	vecs      []wordvec.Vector
+	permNouns []string
+	permVec   wordvec.Vector
 }
 
-// catalogVecs returns the full-catalog phrase-vector table: the shared
-// snapshot's precomputed copy when attached, a lazily built private one
-// otherwise.
-func (s *Solver) catalogVecs() []catalogAPI {
+// catalogTable is the full-catalog scan structure: the per-API entries plus
+// every describing-phrase vector flattened into one contiguous matrix.
+// rowStart[i]..rowStart[i+1] are entry i's rows, so the kernel scan walks a
+// dense block while chunking still happens on entry boundaries.
+type catalogTable struct {
+	entries  []catalogAPI
+	matrix   *wordvec.Matrix
+	rowStart []int32
+}
+
+// catalogVecs returns the full-catalog phrase table: the shared snapshot's
+// precomputed copy when attached, a lazily built private one otherwise.
+func (s *Solver) catalogVecs() *catalogTable {
 	if s.snap != nil {
 		return s.snap.catalogVecs
 	}
@@ -74,18 +94,33 @@ func (s *Solver) catalogVecs() []catalogAPI {
 	return s.catalogVecCache
 }
 
-// buildCatalogVecs embeds the describing phrases of every documented API.
-func (s *Solver) buildCatalogVecs() []catalogAPI {
+// buildCatalogVecs embeds the describing phrases of every documented API
+// into the per-entry table and the flattened scan matrix.
+func (s *Solver) buildCatalogVecs() *catalogTable {
 	apis := s.catalog.APIs()
-	out := make([]catalogAPI, 0, len(apis))
+	t := &catalogTable{
+		entries:  make([]catalogAPI, 0, len(apis)),
+		matrix:   wordvec.NewMatrix(2 * len(apis)),
+		rowStart: make([]int32, 1, len(apis)+1),
+	}
 	for _, api := range apis {
 		entry := catalogAPI{api: api}
 		for _, phrase := range apiPhrases(api) {
-			entry.vecs = append(entry.vecs, s.vec.PhraseVector(phrase))
+			v := s.vec.PhraseVector(phrase)
+			entry.vecs = append(entry.vecs, v)
+			t.matrix.Append(v)
 		}
-		out = append(out, entry)
+		if api.Permission != "" {
+			entry.permNouns = permissionNouns(s, api.Permission)
+			if len(entry.permNouns) > 0 {
+				entry.permVec = s.vec.PhraseVector(entry.permNouns)
+			}
+		}
+		t.entries = append(t.entries, entry)
+		t.rowStart = append(t.rowStart, int32(t.matrix.Rows()))
 	}
-	return out
+	t.matrix.Finish()
+	return t
 }
 
 // Option configures a Solver.
@@ -132,6 +167,16 @@ func WithWordModel(m *wordvec.Model) Option {
 // deterministically, so rankings are identical to the sequential path.
 func WithParallelism(n int) Option {
 	return func(s *Solver) { s.parallelism = normalizeWorkers(n) }
+}
+
+// WithLegacyCosine routes the phrase×candidate scans through the retired
+// per-struct full-cosine matcher instead of the flattened dot kernel. The
+// kernel path exploits the unit-vector invariant of wordvec (dot == cosine)
+// and scans contiguous matrices with an exact anchor prescreen; this flag
+// keeps the original path alive so the byte-identical property stays
+// testable (and for A/B benchmarks).
+func WithLegacyCosine() Option {
+	return func(s *Solver) { s.legacyCosine = true }
 }
 
 // WithQAIndex installs the general-task Q&A index (§4.2.2).

@@ -102,6 +102,42 @@ type StaticInfo struct {
 
 	// Exceptions thrown/caught by developer methods.
 	Exceptions []apg.ExceptionSite
+
+	// --- flattened scan state (built once by buildScanState) -----------------
+	//
+	// The kernel matcher walks these contiguous structure-of-arrays blocks
+	// instead of chasing the per-candidate structs above; the structs stay
+	// for evidence strings and the legacy cosine path.
+
+	// methodMatrix rows are parallel to MethodPhrases.
+	methodMatrix *wordvec.Matrix
+
+	// invisibleMatrix holds every non-empty widget-id phrase vector;
+	// invisibleRows maps its rows back to (GUI index, widget index), in the
+	// same nested order the legacy loops visit.
+	invisibleMatrix *wordvec.Matrix
+	invisibleRows   []invisibleRef
+
+	// uriNounVecs[i] is the phrase embedding of URIs[i].Nouns (zero vector
+	// when the noun list is empty).
+	uriNounVecs []wordvec.Vector
+
+	// intentNounVecs[i][j] is the embedding of Intents[i].Nouns[j].
+	intentNounVecs [][]wordvec.Vector
+
+	// descWords[i] is APIs[i].API.Description tokenized once — the seed
+	// re-ran textproc.Words per (noun-phrase, API) pair.
+	descWords [][]string
+
+	// normMessages[i] is normalizeMessage(Messages[i].Text), precomputed —
+	// the seed retokenized every app message once per quoted review span.
+	normMessages []string
+}
+
+// invisibleRef addresses one widget-id phrase: GUIs[GUI].InvisibleWords[Widget].
+type invisibleRef struct {
+	GUI    int32
+	Widget int32
 }
 
 // ExtractStatic runs the §3.3.2 extraction over one release.
@@ -123,7 +159,59 @@ func (s *Solver) ExtractStatic(r *apk.Release) *StaticInfo {
 	info.extractMessages(g)
 	info.extractMethodPhrases(s, g)
 	info.embedInvisibleLabels(s)
+	info.buildScanState(s)
 	return info
+}
+
+// buildScanState flattens the extracted embeddings into the contiguous
+// matrices the kernel matcher scans, and precomputes the static-text caches
+// (tokenized API descriptions, normalized messages, URI/intent noun
+// vectors). Everything here is derived deterministically from fields built
+// above; after this call the StaticInfo is read-only.
+func (info *StaticInfo) buildScanState(s *Solver) {
+	info.methodMatrix = wordvec.NewMatrix(len(info.MethodPhrases))
+	for i := range info.MethodPhrases {
+		info.methodMatrix.Append(info.MethodPhrases[i].Vec)
+	}
+	info.methodMatrix.Finish()
+
+	info.invisibleMatrix = wordvec.NewMatrix(0)
+	for gi := range info.GUIs {
+		for wi, idWords := range info.GUIs[gi].InvisibleWords {
+			if len(idWords) == 0 {
+				continue
+			}
+			info.invisibleMatrix.Append(info.invisibleVecs[gi][wi])
+			info.invisibleRows = append(info.invisibleRows, invisibleRef{GUI: int32(gi), Widget: int32(wi)})
+		}
+	}
+	info.invisibleMatrix.Finish()
+
+	info.uriNounVecs = make([]wordvec.Vector, len(info.URIs))
+	for i := range info.URIs {
+		if len(info.URIs[i].Nouns) > 0 {
+			info.uriNounVecs[i] = s.vec.PhraseVector(info.URIs[i].Nouns)
+		}
+	}
+
+	info.intentNounVecs = make([][]wordvec.Vector, len(info.Intents))
+	for i := range info.Intents {
+		vecs := make([]wordvec.Vector, len(info.Intents[i].Nouns))
+		for j, noun := range info.Intents[i].Nouns {
+			vecs[j] = s.vec.PhraseVector([]string{noun})
+		}
+		info.intentNounVecs[i] = vecs
+	}
+
+	info.descWords = make([][]string, len(info.APIs))
+	for i := range info.APIs {
+		info.descWords[i] = textproc.Words(info.APIs[i].API.Description)
+	}
+
+	info.normMessages = make([]string, len(info.Messages))
+	for i := range info.Messages {
+		info.normMessages[i] = normalizeMessage(info.Messages[i].Text)
+	}
 }
 
 // embedInvisibleLabels precomputes the phrase vectors of every expanded

@@ -3,6 +3,7 @@ package textproc
 import (
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Normalizer repairs typos and expands abbreviations in review tokens, per
@@ -14,7 +15,17 @@ type Normalizer struct {
 	byLen   map[int][]string // dictionary words grouped by length for candidate pruning
 	abbrevs map[string]string
 	maxDist int
+
+	// Review vocabulary is heavily repeated, and a repair scan walks every
+	// dictionary word of a near length, so repaired (and rejected) words are
+	// memoized. Guarded because one Normalizer is shared across pool workers.
+	mu   sync.RWMutex
+	memo map[string]string
 }
+
+// memoCap bounds the repair cache so adversarial input can't grow it without
+// limit; review vocabularies are far smaller in practice.
+const memoCap = 1 << 16
 
 // NormalizerOption configures a Normalizer.
 type NormalizerOption func(*Normalizer)
@@ -44,6 +55,7 @@ func NewNormalizer(opts ...NormalizerOption) *Normalizer {
 		byLen:   make(map[int][]string),
 		abbrevs: reviewAbbreviations,
 		maxDist: 1,
+		memo:    make(map[string]string),
 	}
 	for _, w := range reviewDictionary {
 		n.addWord(w)
@@ -87,13 +99,31 @@ func (n *Normalizer) NormalizeWord(word string) string {
 	if len(w) <= 3 || n.Known(w) || !isAlphaWord(w) {
 		return w
 	}
+	n.mu.RLock()
+	repaired, ok := n.memo[w]
+	n.mu.RUnlock()
+	if ok {
+		return repaired
+	}
+	repaired = n.repair(w)
+	n.mu.Lock()
+	if len(n.memo) < memoCap {
+		n.memo[w] = repaired
+	}
+	n.mu.Unlock()
+	return repaired
+}
+
+// repair finds the closest dictionary word within maxDist, or returns w
+// unchanged when none qualifies.
+func (n *Normalizer) repair(w string) string {
 	best, bestDist := "", n.maxDist+1
 	for l := len(w) - n.maxDist; l <= len(w)+n.maxDist; l++ {
 		for _, cand := range n.byLen[l] {
-			if !LevenshteinAtMost(w, cand, n.maxDist) {
+			d := LevenshteinBounded(w, cand, n.maxDist)
+			if d > n.maxDist {
 				continue
 			}
-			d := Levenshtein(w, cand)
 			if d < bestDist || (d == bestDist && cand < best) {
 				best, bestDist = cand, d
 			}

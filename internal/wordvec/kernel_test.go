@@ -1,0 +1,221 @@
+package wordvec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomUnit returns a random unit vector.
+func randomUnit(rng *rand.Rand) Vector {
+	var v Vector
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	normalize(&v)
+	return v
+}
+
+// phraseCorpus embeds a spread of in-lexicon, out-of-lexicon, and mixed
+// phrases — the vector population the real scans see.
+func phraseCorpus(m *Model) []Vector {
+	phrases := [][]string{
+		{"fetch", "mail"}, {"get", "email"}, {"send", "message"},
+		{"upload", "photo"}, {"save", "picture"}, {"delete", "file"},
+		{"open", "app"}, {"login", "account"}, {"play", "video"},
+		{"connect", "server"}, {"zorblax", "quux"}, {"frobnicate", "widget"},
+		{"crash", "launch"}, {"sync", "calendar"}, {"read", "article"},
+		{"show", "password"}, {"record", "audio"}, {"browse", "website"},
+		{"parse", "xml", "config"}, {"validate", "email", "address"},
+	}
+	out := make([]Vector, 0, len(phrases))
+	for _, p := range phrases {
+		out = append(out, m.PhraseVector(p))
+	}
+	return out
+}
+
+// TestDotEqualsCosineOnUnitVectors: on the unit-or-zero vectors the model
+// produces, Dot must agree with Cosine to float tolerance (they differ only
+// by the redundant norm division), and exactly reproduce a naive dot.
+func TestDotEqualsCosineOnUnitVectors(t *testing.T) {
+	m := NewModel()
+	vecs := phraseCorpus(m)
+	for i, a := range vecs {
+		for _, b := range vecs {
+			dot := Dot(a, b)
+			cos := Cosine(a, b)
+			if math.Abs(dot-cos) > 1e-12 {
+				t.Fatalf("vec %d: Dot=%v Cosine=%v diverge beyond tolerance", i, dot, cos)
+			}
+		}
+	}
+	// Zero vector: both conventions yield 0.
+	var zero Vector
+	if Dot(zero, vecs[0]) != 0 {
+		t.Fatal("Dot with zero vector must be 0")
+	}
+	if Cosine(zero, vecs[0]) != 0 {
+		t.Fatal("Cosine with zero vector must be 0")
+	}
+}
+
+// TestDotUnrollMatchesNaive: the 4-way unrolled kernel must match a naive
+// sequential dot to within reassociation tolerance on arbitrary vectors.
+func TestDotUnrollMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomUnit(rng), randomUnit(rng)
+		var naive float64
+		for i := 0; i < Dim; i++ {
+			naive += a[i] * b[i]
+		}
+		if math.Abs(Dot(a, b)-naive) > 1e-12 {
+			t.Fatalf("trial %d: unrolled %v vs naive %v", trial, Dot(a, b), naive)
+		}
+	}
+}
+
+func TestDotBatch(t *testing.T) {
+	m := NewModel()
+	vecs := phraseCorpus(m)
+	mat := NewMatrix(len(vecs))
+	for _, v := range vecs {
+		mat.Append(v)
+	}
+	q := m.PhraseVector([]string{"fetch", "mail"})
+	out := make([]float64, mat.Rows())
+	DotBatch(q, mat.Data(), out)
+	for r, v := range vecs {
+		if got := out[r]; got != Dot(q, v) {
+			t.Fatalf("row %d: DotBatch %v != Dot %v", r, got, Dot(q, v))
+		}
+	}
+}
+
+// TestPrescreenBoundIsSound is the soundness property of the prescreen: the
+// anchor-projection bound must never fall below the true dot (beyond the
+// epsilon margin), for random unit vectors and for real phrase vectors.
+func TestPrescreenBoundIsSound(t *testing.T) {
+	m := NewModel()
+	rng := rand.New(rand.NewSource(21))
+	var cands []Vector
+	cands = append(cands, phraseCorpus(m)...)
+	for i := 0; i < 200; i++ {
+		cands = append(cands, randomUnit(rng))
+	}
+	mat := NewMatrix(len(cands))
+	for _, v := range cands {
+		mat.Append(v)
+	}
+	mat.Finish()
+
+	queries := append(phraseCorpus(m), randomUnit(rng), randomUnit(rng))
+	for qi, qv := range queries {
+		q := PrepareQuery(qv)
+		for r, c := range cands {
+			d := Dot(qv, c)
+			b := mat.bound(&q, r)
+			if b < d-prescreenEps {
+				t.Fatalf("query %d row %d: bound %v < dot %v — prescreen unsound", qi, r, b, d)
+			}
+		}
+	}
+}
+
+// TestScanThresholdMatchesBruteForce: the prescreened scan must yield
+// exactly the rows a brute-force dot pass finds, for thresholds around the
+// operating point.
+func TestScanThresholdMatchesBruteForce(t *testing.T) {
+	m := NewModel()
+	rng := rand.New(rand.NewSource(3))
+	var cands []Vector
+	cands = append(cands, phraseCorpus(m)...)
+	for i := 0; i < 300; i++ {
+		cands = append(cands, randomUnit(rng))
+	}
+	mat := NewMatrix(len(cands))
+	for _, v := range cands {
+		mat.Append(v)
+	}
+	mat.Finish()
+
+	for _, th := range []float64{0.2, 0.5, DefaultThreshold, 0.9} {
+		for qi, qv := range phraseCorpus(m) {
+			q := PrepareQuery(qv)
+			var want []int
+			for r, c := range cands {
+				if Dot(qv, c) >= th {
+					want = append(want, r)
+				}
+			}
+			var got []int
+			mat.ScanThreshold(&q, th, 0, mat.Rows(), func(r int, d float64) {
+				if d != Dot(qv, cands[r]) {
+					t.Fatalf("query %d row %d: yielded dot %v != Dot %v", qi, r, d, Dot(qv, cands[r]))
+				}
+				got = append(got, r)
+			})
+			if len(got) != len(want) {
+				t.Fatalf("th=%v query %d: scan found %d rows, brute force %d", th, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("th=%v query %d: row %d differs (%d vs %d)", th, qi, i, got[i], want[i])
+				}
+			}
+			// AnyAtLeast agrees with the scan.
+			if mat.AnyAtLeast(&q, th, 0, mat.Rows()) != (len(want) > 0) {
+				t.Fatalf("th=%v query %d: AnyAtLeast disagrees with scan", th, qi)
+			}
+		}
+	}
+}
+
+// TestScanStatsConsistent: pruned+evaluated covers every row, and matched
+// equals the brute-force match count.
+func TestScanStatsConsistent(t *testing.T) {
+	m := NewModel()
+	cands := phraseCorpus(m)
+	mat := NewMatrix(len(cands))
+	for _, v := range cands {
+		mat.Append(v)
+	}
+	mat.Finish()
+	qv := m.PhraseVector([]string{"fetch", "mail"})
+	q := PrepareQuery(qv)
+	pruned, evaluated, matched := mat.ScanStats(&q, DefaultThreshold)
+	if pruned+evaluated != mat.Rows() {
+		t.Fatalf("pruned %d + evaluated %d != rows %d", pruned, evaluated, mat.Rows())
+	}
+	want := 0
+	for _, c := range cands {
+		if Dot(qv, c) >= DefaultThreshold {
+			want++
+		}
+	}
+	if matched != want {
+		t.Fatalf("matched %d != brute force %d", matched, want)
+	}
+}
+
+// TestAnchorBasisOrthonormal: the Gram–Schmidt basis must be orthonormal to
+// float tolerance (the projection identity the bound relies on).
+func TestAnchorBasisOrthonormal(t *testing.T) {
+	basis := anchorBasis()
+	if len(basis) == 0 || len(basis) > prescreenBasisMax {
+		t.Fatalf("basis size %d out of range (max %d)", len(basis), prescreenBasisMax)
+	}
+	for i := range basis {
+		for j := range basis {
+			d := Dot(basis[i], basis[j])
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(d-want) > 1e-9 {
+				t.Fatalf("basis[%d]·basis[%d] = %v, want %v", i, j, d, want)
+			}
+		}
+	}
+}
