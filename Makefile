@@ -5,7 +5,7 @@ GO      ?= go
 BENCHDIR ?= bench
 TOL     ?= 0.02
 
-.PHONY: ci fmt vet build test race benchgate bench bench-all update-baselines clean
+.PHONY: ci fmt vet build test race benchgate bench bench-all obs-smoke update-baselines clean
 
 ci:
 	./ci.sh
@@ -24,7 +24,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/...
+	$(GO) test -race ./internal/core/... ./internal/obs/...
 
 benchgate:
 	$(GO) run ./cmd/benchgate -dir $(BENCHDIR) -tol $(TOL)
@@ -40,6 +40,12 @@ bench:
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Telemetry smoke: drain the seeded corpus with tracing on, validate every
+# explain trace against the schema (and its byte-determinism across worker
+# counts), and scrape the expvar/metrics/health endpoints once.
+obs-smoke:
+	$(GO) run ./cmd/obssmoke
 
 clean:
 	$(GO) clean ./...

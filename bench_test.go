@@ -16,6 +16,7 @@ import (
 	"reviewsolver/internal/ctxinfo"
 	"reviewsolver/internal/experiments"
 	"reviewsolver/internal/ios"
+	"reviewsolver/internal/obs"
 	"reviewsolver/internal/qa"
 	"reviewsolver/internal/sdk"
 	"reviewsolver/internal/sentiment"
@@ -361,6 +362,43 @@ func BenchmarkParallelLocalizeReview(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		solver.LocalizeReview(app.App, review, when)
 	}
+}
+
+// BenchmarkParallelLocalizeReviewObserved re-runs the same configuration
+// with telemetry variants. The "off" sub-benchmark is the acceptance gate
+// for the obs layer: with no recorder installed the instrumentation is nil
+// checks only, so its ns/op must stay within 5% of
+// BenchmarkParallelLocalizeReview. "metrics" and "traced" price the
+// opt-in layers (registry atomics / explain-trace collection).
+func BenchmarkParallelLocalizeReviewObserved(b *testing.B) {
+	app := k9()
+	sn := core.NewSnapshot()
+	sn.PrecomputeApp(app.App)
+	review := "It's a great app but i cannot fetch mail since the latest update"
+	when := app.App.Latest().ReleasedAt.Add(24 * time.Hour)
+	b.Run("off", func(b *testing.B) {
+		solver := core.NewWithSnapshot(sn, core.WithParallelism(0))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			solver.LocalizeReview(app.App, review, when)
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		solver := core.NewWithSnapshot(sn, core.WithParallelism(0),
+			core.WithObserver(obs.NewRecorder(obs.NewRegistry(), nil)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			solver.LocalizeReview(app.App, review, when)
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		solver := core.NewWithSnapshot(sn, core.WithParallelism(0),
+			core.WithObserver(obs.NewRecorder(obs.NewRegistry(), nil)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			solver.LocalizeReviewTraced(app.App, review, when)
+		}
+	})
 }
 
 // BenchmarkLegacyParallelLocalizeReview is the before side of the kernel

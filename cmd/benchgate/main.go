@@ -59,6 +59,7 @@ func run() error {
 		tables = flag.String("tables", "1-16", "tables to gate (comma list with ranges, e.g. 1,2,8-10)")
 		seed   = flag.Int64("seed", 1, "generator seed (must match the stored baselines)")
 		kernel = flag.Bool("kernel", true, "also gate the similarity-kernel scan snapshot (BENCH_KERNEL.json)")
+		obsFlg = flag.Bool("obs", true, "also gate the telemetry registry snapshot (BENCH_OBS.json)")
 		update = flag.Bool("update", false, "rewrite the baselines from this run")
 	)
 	flag.Parse()
@@ -102,6 +103,20 @@ func run() error {
 		cur := kernelSnapshot(*seed)
 		path := filepath.Join(*dir, "BENCH_KERNEL.json")
 		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, *tol, *update, "kernel  ")
+		if err != nil {
+			return err
+		}
+		if madeBaseline {
+			created++
+		}
+		if drifted {
+			failed++
+		}
+	}
+	if *obsFlg {
+		cur := obsSnapshot(*seed)
+		path := filepath.Join(*dir, "BENCH_OBS.json")
+		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, *tol, *update, "obs     ")
 		if err != nil {
 			return err
 		}

@@ -8,18 +8,22 @@
 //	reviewsolver -list
 //	reviewsolver -app com.fsck.k9 -review "cannot fetch mail since the update"
 //	reviewsolver -appfile app.json -review "the reply button doesn't show"
+//	reviewsolver -app com.fsck.k9 -review "..." -explain trace.json
+//	reviewsolver -app com.fsck.k9 -triage -debug-addr localhost:6060 -trace
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	"reviewsolver/internal/apk"
 	"reviewsolver/internal/core"
+	"reviewsolver/internal/obs"
 	"reviewsolver/internal/report"
 	"reviewsolver/internal/synth"
 	"reviewsolver/internal/textclass"
@@ -34,14 +38,17 @@ func main() {
 
 func run() error {
 	var (
-		appPkg   = flag.String("app", "", "package id of a built-in generated app")
-		appFile  = flag.String("appfile", "", "path to an app IR JSON file")
-		review   = flag.String("review", "", "review text to localize")
-		list     = flag.Bool("list", false, "list the built-in generated apps")
-		seed     = flag.Int64("seed", 1, "generator seed for built-in apps")
-		when     = flag.String("published", "", "review publication time (RFC 3339); default: after the latest release")
-		triage   = flag.Bool("triage", false, "triage the app's whole generated review corpus into a markdown report")
-		parallel = flag.Int("parallel", 0, "similarity-matching fan-out per review: 0 = all CPUs, negative = sequential")
+		appPkg    = flag.String("app", "", "package id of a built-in generated app")
+		appFile   = flag.String("appfile", "", "path to an app IR JSON file")
+		review    = flag.String("review", "", "review text to localize")
+		list      = flag.Bool("list", false, "list the built-in generated apps")
+		seed      = flag.Int64("seed", 1, "generator seed for built-in apps")
+		when      = flag.String("published", "", "review publication time (RFC 3339); default: after the latest release")
+		triage    = flag.Bool("triage", false, "triage the app's whole generated review corpus into a markdown report")
+		parallel  = flag.Int("parallel", 0, "similarity-matching fan-out per review: 0 = all CPUs, negative = sequential")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /metrics on this address while running")
+		explain   = flag.String("explain", "", "write the explain-trace JSON for the localized review to this file (\"-\" for stdout)")
+		trace     = flag.Bool("trace", false, "log pipeline stage spans to stderr as structured events")
 	)
 	flag.Parse()
 
@@ -51,8 +58,24 @@ func run() error {
 		}
 		return nil
 	}
+
+	reg := obs.NewRegistry()
+	var logger *slog.Logger
+	if *trace {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	rec := obs.NewRecorder(reg, logger)
+	if *debugAddr != "" {
+		ds, err := obs.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			return fmt.Errorf("start debug server: %w", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s (/debug/vars, /debug/pprof, /metrics)\n", ds.Addr())
+	}
+
 	if *triage {
-		return runTriage(*appPkg, *seed, *parallel)
+		return runTriage(*appPkg, *seed, *parallel, rec)
 	}
 	if *review == "" {
 		return errors.New("missing -review text (or use -list / -triage)")
@@ -75,8 +98,25 @@ func run() error {
 		func() textclass.Classifier { return textclass.NewBoostedTrees() })
 	sn := core.NewSnapshot(core.WithClassifier(vec, clf))
 	sn.PrecomputeApp(app)
-	solver := core.NewWithSnapshot(sn, core.WithParallelism(*parallel))
+	solver := core.NewWithSnapshot(sn, core.WithParallelism(*parallel), core.WithObserver(rec))
 
+	if *explain != "" {
+		res, tr := solver.LocalizeReviewTraced(app, *review, publishedAt)
+		printResult(res, *review)
+		data, err := tr.JSON()
+		if err != nil {
+			return fmt.Errorf("encode explain trace: %w", err)
+		}
+		if *explain == "-" {
+			_, err = os.Stdout.Write(data)
+			return err
+		}
+		if err := os.WriteFile(*explain, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "explain trace written to %s\n", *explain)
+		return nil
+	}
 	res := solver.LocalizeReview(app, *review, publishedAt)
 	printResult(res, *review)
 	return nil
@@ -84,8 +124,10 @@ func run() error {
 
 // runTriage localizes a built-in app's entire generated review corpus and
 // prints the markdown triage report. The corpus is drained through a
-// snapshot-backed solver so static extraction happens once up front.
-func runTriage(pkg string, seed int64, parallel int) error {
+// snapshot-backed solver so static extraction happens once up front; the
+// stderr summary reports per-review latency percentiles read from the
+// telemetry histogram, not just total wall-clock.
+func runTriage(pkg string, seed int64, parallel int, rec *obs.Recorder) error {
 	if pkg == "" {
 		return errors.New("-triage requires -app <package>")
 	}
@@ -102,13 +144,25 @@ func runTriage(pkg string, seed int64, parallel int) error {
 		func() textclass.Classifier { return textclass.NewBoostedTrees() })
 	sn := core.NewSnapshot(core.WithClassifier(vec, clf))
 	sn.PrecomputeApp(data.App)
-	solver := core.NewWithSnapshot(sn, core.WithParallelism(parallel))
+	solver := core.NewWithSnapshot(sn, core.WithParallelism(parallel), core.WithObserver(rec))
 	b := report.NewBuilder(solver, data.App)
+	started := time.Now()
 	for _, rv := range data.Reviews {
 		b.Add(rv.Text, rv.PublishedAt)
 	}
+	elapsed := time.Since(started)
 	fmt.Print(b.Build().Markdown())
+
+	h := rec.Histogram(core.ReviewLatencyMetric, obs.LatencyBucketsNs)
+	fmt.Fprintf(os.Stderr, "triage: %d reviews in %s — per-review p50=%s p95=%s p99=%s\n",
+		len(data.Reviews), elapsed.Round(time.Millisecond),
+		nsDuration(h.Quantile(0.50)), nsDuration(h.Quantile(0.95)), nsDuration(h.Quantile(0.99)))
 	return nil
+}
+
+// nsDuration renders a nanosecond histogram quantile as a duration.
+func nsDuration(ns float64) time.Duration {
+	return time.Duration(ns).Round(time.Microsecond)
 }
 
 func loadApp(pkg, file string, seed int64) (*apk.App, error) {

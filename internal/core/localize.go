@@ -6,6 +6,7 @@ import (
 	"reviewsolver/internal/apk"
 	"reviewsolver/internal/ctxinfo"
 	"reviewsolver/internal/gui"
+	"reviewsolver/internal/obs"
 	"reviewsolver/internal/phrase"
 	"reviewsolver/internal/textproc"
 	"reviewsolver/internal/wordvec"
@@ -30,18 +31,40 @@ type Mapping struct {
 // Localize runs every applicable localizer (§4.1 app-specific, §4.2
 // general) and returns the combined mappings.
 func (s *Solver) Localize(ra *ReviewAnalysis, info *StaticInfo, previous, current *apk.Release) []Mapping {
+	return s.localize(ra, info, previous, current, nil, nil)
+}
+
+// localize is Localize with telemetry: a "localize" span with one child
+// span per localizer (when a recorder is installed) and per-stage match
+// and scan records in the explain trace (when tr is non-nil). Both default
+// off; with neither active the instrumentation is a handful of nil checks
+// per review.
+func (s *Solver) localize(ra *ReviewAnalysis, info *StaticInfo, previous, current *apk.Release, tr *obs.ReviewTrace, parent *obs.Span) []Mapping {
+	sp := parent.Child(stageLocalize)
+	if sp == nil {
+		sp = s.rec.Start(stageLocalize)
+	}
 	var out []Mapping
-	out = append(out, s.localizeAppSpecific(ra, info)...)
-	out = append(out, s.localizeGUI(ra, info)...)
-	out = append(out, s.localizeErrorMessage(ra, info)...)
-	out = append(out, s.localizeOpeningApp(ra, info)...)
-	out = append(out, s.localizeRegistration(ra, info)...)
-	out = append(out, s.localizeAPIURIIntent(ra, info)...)
-	out = append(out, s.localizeGeneralTask(ra, info)...)
-	out = append(out, s.localizeException(ra, info)...)
+	run := func(stage string, fn func() []Mapping) {
+		c := sp.Child(stage)
+		ms := fn()
+		c.End()
+		tr.AddStage(stage, stageLocalize, len(ms))
+		out = append(out, ms...)
+	}
+	run(stageAppSpecific, func() []Mapping { return s.localizeAppSpecific(ra, info, tr) })
+	run(stageGUI, func() []Mapping { return s.localizeGUI(ra, info, tr) })
+	run(stageErrorMessage, func() []Mapping { return s.localizeErrorMessage(ra, info, tr) })
+	run(stageOpeningApp, func() []Mapping { return s.localizeOpeningApp(ra, info, tr) })
+	run(stageRegistration, func() []Mapping { return s.localizeRegistration(ra, info, tr) })
+	run(stageAPIURIIntent, func() []Mapping { return s.localizeAPIURIIntent(ra, info, tr) })
+	run(stageGeneralTask, func() []Mapping { return s.localizeGeneralTask(ra, info, tr) })
+	run(stageException, func() []Mapping { return s.localizeException(ra, info, tr) })
 	// §4.1.6: update-related errors fall back to the version diff only when
 	// nothing else localized the review.
-	out = append(out, s.localizeUpdate(ra, out, previous, current)...)
+	existing := out
+	run(stageUpdate, func() []Mapping { return s.localizeUpdate(ra, existing, previous, current, tr) })
+	sp.End()
 	return dedupMappings(out)
 }
 
@@ -50,23 +73,23 @@ func (s *Solver) Localize(ra *ReviewAnalysis, info *StaticInfo, previous, curren
 func (s *Solver) LocalizeByContext(ctx ctxinfo.Type, ra *ReviewAnalysis, info *StaticInfo, previous, current *apk.Release) []Mapping {
 	switch ctx {
 	case ctxinfo.AppSpecificTask:
-		return s.localizeAppSpecific(ra, info)
+		return s.localizeAppSpecific(ra, info, nil)
 	case ctxinfo.GUI:
-		return s.localizeGUI(ra, info)
+		return s.localizeGUI(ra, info, nil)
 	case ctxinfo.ErrorMessage:
-		return s.localizeErrorMessage(ra, info)
+		return s.localizeErrorMessage(ra, info, nil)
 	case ctxinfo.OpeningApp:
-		return s.localizeOpeningApp(ra, info)
+		return s.localizeOpeningApp(ra, info, nil)
 	case ctxinfo.RegisteringAccount:
-		return s.localizeRegistration(ra, info)
+		return s.localizeRegistration(ra, info, nil)
 	case ctxinfo.APIURIIntent:
-		return s.localizeAPIURIIntent(ra, info)
+		return s.localizeAPIURIIntent(ra, info, nil)
 	case ctxinfo.GeneralTask:
-		return s.localizeGeneralTask(ra, info)
+		return s.localizeGeneralTask(ra, info, nil)
 	case ctxinfo.Exception:
-		return s.localizeException(ra, info)
+		return s.localizeException(ra, info, nil)
 	case ctxinfo.UpdatingApp:
-		return s.localizeUpdate(ra, nil, previous, current)
+		return s.localizeUpdate(ra, nil, previous, current, nil)
 	default:
 		return nil
 	}
@@ -95,10 +118,11 @@ func dedupMappings(ms []Mapping) []Mapping {
 // default matcher scans the flattened method-phrase matrix with the
 // dot-only kernel and anchor prescreen; WithLegacyCosine restores the
 // per-struct full-cosine pass (byte-identical output, property-tested).
-func (s *Solver) localizeAppSpecific(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+func (s *Solver) localizeAppSpecific(ra *ReviewAnalysis, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
 	var out []Mapping
 	useKernel := !s.legacyCosine && info.methodMatrix != nil
 	threshold := s.vec.Threshold()
+	simHist := s.simHist()
 	for _, vp := range ra.VerbPhrases {
 		words := vp.Words()
 		v := s.vec.PhraseVector(words)
@@ -107,36 +131,54 @@ func (s *Solver) localizeAppSpecific(ra *ReviewAnalysis, info *StaticInfo) []Map
 		if useKernel {
 			q = wordvec.PrepareQuery(v)
 		}
-		out = append(out, parallelMappings(len(info.MethodPhrases), s.parallelism,
-			func(start, end int) []Mapping {
-				var part []Mapping
-				emit := func(i int) {
+		res := parallelChunks(len(info.MethodPhrases), s.parallelism,
+			func(start, end int) scanChunk {
+				var ck scanChunk
+				emit := func(i int, sim float64) {
 					mp := &info.MethodPhrases[i]
-					evidence := "method name " + mp.Method.Name
+					source, evidence := "method name", "method name "+mp.Method.Name
 					if mp.FromSummary {
+						source = "method summary"
 						evidence = "method summary [" + strings.Join(mp.Words, " ") + "]"
 					}
-					part = append(part, Mapping{
+					ck.maps = append(ck.maps, Mapping{
 						Phrase:   phraseText,
 						Class:    mp.Method.Class,
 						Method:   mp.Method.Name,
 						Context:  ctxinfo.AppSpecificTask,
 						Evidence: evidence,
 					})
+					simHist.Observe(sim)
+					if tr != nil {
+						ck.matches = append(ck.matches, obs.MatchTrace{
+							Phrase: phraseText, Class: mp.Method.Class, Method: mp.Method.Name,
+							Stage: stageAppSpecific, Source: source, Evidence: evidence,
+							Similarity: sim,
+						})
+					}
 				}
 				if useKernel {
-					info.methodMatrix.ScanThreshold(&q, threshold, start, end,
-						func(row int, _ float64) { emit(row) })
-					return part
+					ck.scan = info.methodMatrix.ScanThresholdCount(&q, threshold, start, end,
+						func(row int, dot float64) { emit(row, dot) })
+					return ck
 				}
 				for i := start; i < end; i++ {
-					if wordvec.Cosine(v, info.MethodPhrases[i].Vec) < threshold {
+					ck.scan.Evaluated++
+					c := wordvec.Cosine(v, info.MethodPhrases[i].Vec)
+					if c < threshold {
 						continue
 					}
-					emit(i)
+					ck.scan.Matched++
+					emit(i, c)
 				}
-				return part
-			})...)
+				return ck
+			})
+		out = append(out, res.maps...)
+		tr.AddMatches(res.matches)
+		if s.rec != nil || tr != nil {
+			s.noteScan(tr, stageAppSpecific, "method_phrases", phraseText,
+				len(info.MethodPhrases), res.scan)
+		}
 	}
 	return out
 }
@@ -159,8 +201,9 @@ var issueNouns = map[string]struct{}{
 
 // localizeGUI maps GUI-related noun phrases and vague-error patterns to the
 // activities whose visible/invisible labels mention them.
-func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
 	var out []Mapping
+	simHist := s.simHist()
 
 	addActivity := func(phraseText, activity, evidence string) {
 		out = append(out, Mapping{
@@ -169,6 +212,14 @@ func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
 			Context:  ctxinfo.GUI,
 			Evidence: evidence,
 		})
+		simHist.Observe(1)
+		if tr != nil {
+			tr.AddMatch(obs.MatchTrace{
+				Phrase: phraseText, Class: activity,
+				Stage: stageGUI, Source: "visible label", Evidence: evidence,
+				Similarity: 1,
+			})
+		}
 	}
 
 	for _, np := range ra.NounPhrases {
@@ -182,7 +233,7 @@ func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
 				for _, activity := range gui.FindByVisibleWord(info.GUIs, mod) {
 					addActivity(np.String(), activity, "visible label contains "+mod)
 				}
-				out = append(out, s.matchInvisibleWord(np.String(), mod, info)...)
+				out = append(out, s.matchInvisibleWord(np.String(), mod, info, tr)...)
 			}
 		}
 		// Case (2): implicit issue mention ("certificate issues") — search
@@ -201,7 +252,7 @@ func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
 
 	// Verb phrases against invisible widget-id phrases ("show password").
 	for _, vp := range ra.VerbPhrases {
-		out = append(out, s.matchInvisible(vp.String(), vp.Words(), info)...)
+		out = append(out, s.matchInvisible(vp.String(), vp.Words(), info, tr)...)
 	}
 
 	// Vague-error patterns (Table 5): look the function words up in the
@@ -226,25 +277,39 @@ func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
 // loop visits, so output order is identical); WithLegacyCosine restores the
 // per-struct cosine pass over the label vectors precomputed at extraction
 // time.
-func (s *Solver) matchInvisible(phraseText string, words []string, info *StaticInfo) []Mapping {
+func (s *Solver) matchInvisible(phraseText string, words []string, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
 	var out []Mapping
 	v := s.vec.PhraseVector(contentOnly(words))
-	emit := func(gi, wi int) {
+	simHist := s.simHist()
+	emit := func(gi, wi int, sim float64) {
 		g := &info.GUIs[gi]
+		evidence := "widget id " + g.WidgetIDs[wi]
 		out = append(out, Mapping{
 			Phrase:   phraseText,
 			Class:    g.Activity,
 			Context:  ctxinfo.GUI,
-			Evidence: "widget id " + g.WidgetIDs[wi],
+			Evidence: evidence,
 		})
+		simHist.Observe(sim)
+		if tr != nil {
+			tr.AddMatch(obs.MatchTrace{
+				Phrase: phraseText, Class: g.Activity,
+				Stage: stageGUI, Source: "widget id", Evidence: evidence,
+				Similarity: sim,
+			})
+		}
 	}
+	var sc wordvec.ScanCount
 	if !s.legacyCosine && info.invisibleMatrix != nil {
 		q := wordvec.PrepareQuery(v)
-		info.invisibleMatrix.ScanThreshold(&q, s.vec.Threshold(), 0, info.invisibleMatrix.Rows(),
-			func(row int, _ float64) {
+		sc = info.invisibleMatrix.ScanThresholdCount(&q, s.vec.Threshold(), 0, info.invisibleMatrix.Rows(),
+			func(row int, dot float64) {
 				ref := info.invisibleRows[row]
-				emit(int(ref.GUI), int(ref.Widget))
+				emit(int(ref.GUI), int(ref.Widget), dot)
 			})
+		if s.rec != nil || tr != nil {
+			s.noteScan(tr, stageGUI, "widget_ids", phraseText, info.invisibleMatrix.Rows(), sc)
+		}
 		return out
 	}
 	for gi := range info.GUIs {
@@ -259,11 +324,17 @@ func (s *Solver) matchInvisible(phraseText string, words []string, info *StaticI
 			} else {
 				idVec = s.vec.PhraseVector(idWords)
 			}
-			if wordvec.Cosine(v, idVec) < s.vec.Threshold() {
+			sc.Evaluated++
+			c := wordvec.Cosine(v, idVec)
+			if c < s.vec.Threshold() {
 				continue
 			}
-			emit(gi, wi)
+			sc.Matched++
+			emit(gi, wi, c)
 		}
+	}
+	if s.rec != nil || tr != nil {
+		s.noteScan(tr, stageGUI, "widget_ids", phraseText, sc.Evaluated, sc)
 	}
 	return out
 }
@@ -272,28 +343,43 @@ func (s *Solver) matchInvisible(phraseText string, words []string, info *StaticI
 // expanded widget-id words of each activity (§4.1.2 case 1: "we search the
 // word 'reply' that modifies the 'button' in the information related to
 // each GUI component").
-func (s *Solver) matchInvisibleWord(phraseText, word string, info *StaticInfo) []Mapping {
+func (s *Solver) matchInvisibleWord(phraseText, word string, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
 	var out []Mapping
+	simHist := s.simHist()
 	for gi := range info.GUIs {
 		g := &info.GUIs[gi]
 		for wi, idWords := range g.InvisibleWords {
-			matched := false
+			matched, sim := false, 0.0
 			for _, w := range idWords {
-				if w == word || (!textproc.IsStopword(w) &&
-					s.vec.WordSimilarity(w, word) >= s.vec.Threshold()) {
-					matched = true
+				if w == word {
+					matched, sim = true, 1
 					break
+				}
+				if !textproc.IsStopword(w) {
+					if ws := s.vec.WordSimilarity(w, word); ws >= s.vec.Threshold() {
+						matched, sim = true, ws
+						break
+					}
 				}
 			}
 			if !matched {
 				continue
 			}
+			evidence := "widget id " + g.WidgetIDs[wi]
 			out = append(out, Mapping{
 				Phrase:   phraseText,
 				Class:    g.Activity,
 				Context:  ctxinfo.GUI,
-				Evidence: "widget id " + g.WidgetIDs[wi],
+				Evidence: evidence,
 			})
+			simHist.Observe(sim)
+			if tr != nil {
+				tr.AddMatch(obs.MatchTrace{
+					Phrase: phraseText, Class: g.Activity,
+					Stage: stageGUI, Source: "widget id", Evidence: evidence,
+					Similarity: sim,
+				})
+			}
 		}
 	}
 	return out
@@ -313,8 +399,9 @@ func contentOnly(words []string) []string {
 
 // localizeErrorMessage matches quoted error messages against the app's
 // message strings, and error-type noun phrases against API descriptions.
-func (s *Solver) localizeErrorMessage(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+func (s *Solver) localizeErrorMessage(ra *ReviewAnalysis, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
 	var out []Mapping
+	simHist := s.simHist()
 
 	// Precise messages: quoted spans matched by normalized containment. The
 	// app messages are normalized once at extraction time (the seed
@@ -336,12 +423,21 @@ func (s *Solver) localizeErrorMessage(ra *ReviewAnalysis, info *StaticInfo) []Ma
 				continue
 			}
 			for _, cls := range msg.Classes {
+				evidence := "app message " + msg.Text
 				out = append(out, Mapping{
 					Phrase:   quoted,
 					Class:    cls,
 					Context:  ctxinfo.ErrorMessage,
-					Evidence: "app message " + msg.Text,
+					Evidence: evidence,
 				})
+				simHist.Observe(1)
+				if tr != nil {
+					tr.AddMatch(obs.MatchTrace{
+						Phrase: quoted, Class: cls,
+						Stage: stageErrorMessage, Source: "app message", Evidence: evidence,
+						Similarity: 1,
+					})
+				}
 			}
 		}
 	}
@@ -364,16 +460,26 @@ func (s *Solver) localizeErrorMessage(ra *ReviewAnalysis, info *StaticInfo) []Ma
 				} else {
 					words = textproc.Words(use.API.Description)
 				}
-				if !descriptionMentions(words, mod, s.vec) {
+				sim, ok := descriptionMention(words, mod, s.vec)
+				if !ok {
 					continue
 				}
 				for _, cls := range use.Classes {
+					evidence := "API description " + use.API.Signature()
 					out = append(out, Mapping{
 						Phrase:   np.String(),
 						Class:    cls,
 						Context:  ctxinfo.ErrorMessage,
-						Evidence: "API description " + use.API.Signature(),
+						Evidence: evidence,
 					})
+					simHist.Observe(sim)
+					if tr != nil {
+						tr.AddMatch(obs.MatchTrace{
+							Phrase: np.String(), Class: cls,
+							Stage: stageErrorMessage, Source: "API description", Evidence: evidence,
+							Similarity: sim,
+						})
+					}
 				}
 			}
 		}
@@ -385,18 +491,21 @@ func normalizeMessage(s string) string {
 	return strings.Join(textproc.Words(s), " ")
 }
 
-// descriptionMentions reports whether a tokenized API description contains
-// the word or a synonym of it.
-func descriptionMentions(descWords []string, word string, vec *wordvec.Model) bool {
+// descriptionMention reports whether a tokenized API description contains
+// the word or a synonym of it, and the similarity that decided it (1 for
+// an exact word hit).
+func descriptionMention(descWords []string, word string, vec *wordvec.Model) (float64, bool) {
 	for _, w := range descWords {
 		if w == word {
-			return true
+			return 1, true
 		}
-		if !textproc.IsStopword(w) && vec.WordSimilarity(w, word) >= vec.Threshold() {
-			return true
+		if !textproc.IsStopword(w) {
+			if sim := vec.WordSimilarity(w, word); sim >= vec.Threshold() {
+				return sim, true
+			}
 		}
 	}
-	return false
+	return 0, false
 }
 
 // --- §4.1.4 Opening app ---------------------------------------------------------
@@ -409,7 +518,7 @@ var lifecycleMethods = []string{"onCreate", "onStart", "onResume"}
 
 // localizeOpeningApp recommends the starting activity's lifecycle methods
 // for launch-time errors.
-func (s *Solver) localizeOpeningApp(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+func (s *Solver) localizeOpeningApp(ra *ReviewAnalysis, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
 	if info.StartingActivity == "" {
 		return nil
 	}
@@ -448,6 +557,7 @@ func (s *Solver) localizeOpeningApp(ra *ReviewAnalysis, info *StaticInfo) []Mapp
 	if !match {
 		return nil
 	}
+	simHist := s.simHist()
 	out := make([]Mapping, 0, len(lifecycleMethods))
 	for _, m := range lifecycleMethods {
 		out = append(out, Mapping{
@@ -457,6 +567,14 @@ func (s *Solver) localizeOpeningApp(ra *ReviewAnalysis, info *StaticInfo) []Mapp
 			Context:  ctxinfo.OpeningApp,
 			Evidence: "starting activity lifecycle",
 		})
+		simHist.Observe(1)
+		if tr != nil {
+			tr.AddMatch(obs.MatchTrace{
+				Phrase: trigger, Class: info.StartingActivity, Method: m,
+				Stage: stageOpeningApp, Source: "starting activity",
+				Evidence: "starting activity lifecycle", Similarity: 1,
+			})
+		}
 	}
 	return out
 }
@@ -465,11 +583,12 @@ func (s *Solver) localizeOpeningApp(ra *ReviewAnalysis, info *StaticInfo) []Mapp
 
 // localizeRegistration recommends the registration/login activities for
 // account errors.
-func (s *Solver) localizeRegistration(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+func (s *Solver) localizeRegistration(ra *ReviewAnalysis, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
 	if !mentionsRegistration(ra) {
 		return nil
 	}
 	activities := gui.FindRegistrationActivities(info.GUIs)
+	simHist := s.simHist()
 	out := make([]Mapping, 0, len(activities))
 	for _, a := range activities {
 		out = append(out, Mapping{
@@ -478,6 +597,14 @@ func (s *Solver) localizeRegistration(ra *ReviewAnalysis, info *StaticInfo) []Ma
 			Context:  ctxinfo.RegisteringAccount,
 			Evidence: "registration activity",
 		})
+		simHist.Observe(1)
+		if tr != nil {
+			tr.AddMatch(obs.MatchTrace{
+				Phrase: "account registration", Class: a,
+				Stage: stageRegistration, Source: "registration activity",
+				Evidence: "registration activity", Similarity: 1,
+			})
+		}
 	}
 	return out
 }
@@ -522,7 +649,7 @@ var updateCues = []string{
 // produced mappings those stand (the paper checks the other phrases first);
 // otherwise it recommends the classes changed between the two latest
 // versions.
-func (s *Solver) localizeUpdate(ra *ReviewAnalysis, existing []Mapping, previous, current *apk.Release) []Mapping {
+func (s *Solver) localizeUpdate(ra *ReviewAnalysis, existing []Mapping, previous, current *apk.Release, tr *obs.ReviewTrace) []Mapping {
 	if previous == nil || current == nil {
 		return nil
 	}
@@ -539,14 +666,24 @@ func (s *Solver) localizeUpdate(ra *ReviewAnalysis, existing []Mapping, previous
 	if !mentioned || len(existing) > 0 {
 		return nil
 	}
+	simHist := s.simHist()
 	var out []Mapping
 	for _, cls := range apk.DiffClasses(previous, current) {
+		evidence := "changed between " + previous.Version + " and " + current.Version
 		out = append(out, Mapping{
 			Phrase:   "app update",
 			Class:    cls,
 			Context:  ctxinfo.UpdatingApp,
-			Evidence: "changed between " + previous.Version + " and " + current.Version,
+			Evidence: evidence,
 		})
+		simHist.Observe(1)
+		if tr != nil {
+			tr.AddMatch(obs.MatchTrace{
+				Phrase: "app update", Class: cls,
+				Stage: stageUpdate, Source: "version diff", Evidence: evidence,
+				Similarity: 1,
+			})
+		}
 	}
 	return out
 }
@@ -568,11 +705,12 @@ var collectionVerbs = map[string]struct{}{
 // prescreen, reading the permission-noun and URI/intent-noun vectors cached
 // at construction/extraction time; WithLegacyCosine restores the per-struct
 // full-cosine pass (byte-identical output, property-tested).
-func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
 	var out []Mapping
 	table := s.catalogVecs()
 	useKernel := !s.legacyCosine
 	threshold := s.vec.Threshold()
+	simHist := s.simHist()
 	for _, vp := range ra.VerbPhrases {
 		words := vp.Words()
 		v := s.vec.PhraseVector(words)
@@ -591,19 +729,28 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo) []Ma
 		// APIs (Algorithm 1 lines 3–10): the comparison runs over the whole
 		// documented catalog and a match is reported only when the app
 		// actually invokes the API.
-		out = append(out, parallelMappings(len(table.entries), s.parallelism,
-			func(start, end int) []Mapping {
-				var part []Mapping
+		res := parallelChunks(len(table.entries), s.parallelism,
+			func(start, end int) scanChunk {
+				var ck scanChunk
 				for ei := start; ei < end; ei++ {
 					entry := &table.entries[ei]
 					matched := false
+					sim := 0.0
+					source := "API"
 					if useKernel {
-						matched = table.matrix.AnyAtLeast(&q, threshold,
+						var esc wordvec.ScanCount
+						matched, esc = table.matrix.AnyAtLeastCount(&q, threshold,
 							int(table.rowStart[ei]), int(table.rowStart[ei+1]))
+						ck.scan.Merge(esc)
+						if matched {
+							sim = threshold // AnyAtLeast stops at the hit; record the floor
+						}
 					} else {
 						for _, pv := range entry.vecs {
-							if wordvec.Cosine(v, pv) >= threshold {
-								matched = true
+							ck.scan.Evaluated++
+							if c := wordvec.Cosine(v, pv); c >= threshold {
+								matched, sim = true, c
+								ck.scan.Matched++
 								break
 							}
 						}
@@ -612,26 +759,44 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo) []Ma
 					// object similar to the permission nouns (cached per
 					// entry — the seed re-derived them per phrase×entry).
 					if !matched && isCollect && hasObject && len(entry.permNouns) > 0 {
+						var psim float64
 						if useKernel {
-							matched = wordvec.Dot(objVec, entry.permVec) >= threshold
+							psim = wordvec.Dot(objVec, entry.permVec)
 						} else {
-							matched = s.vec.Similarity(vp.Object, entry.permNouns) >= threshold
+							psim = s.vec.Similarity(vp.Object, entry.permNouns)
+						}
+						if psim >= threshold {
+							matched, sim, source = true, psim, "permission"
 						}
 					}
 					if !matched {
 						continue
 					}
 					for _, cls := range info.APIClasses(entry.api.Class, entry.api.Method) {
-						part = append(part, Mapping{
+						evidence := "API " + entry.api.Signature()
+						ck.maps = append(ck.maps, Mapping{
 							Phrase:   phraseText,
 							Class:    cls,
 							Context:  ctxinfo.APIURIIntent,
-							Evidence: "API " + entry.api.Signature(),
+							Evidence: evidence,
 						})
+						simHist.Observe(sim)
+						if tr != nil {
+							ck.matches = append(ck.matches, obs.MatchTrace{
+								Phrase: phraseText, Class: cls,
+								Stage: stageAPIURIIntent, Source: source, Evidence: evidence,
+								Similarity: sim,
+							})
+						}
 					}
 				}
-				return part
-			})...)
+				return ck
+			})
+		out = append(out, res.maps...)
+		tr.AddMatches(res.matches)
+		if s.rec != nil || tr != nil {
+			s.noteScan(tr, stageAPIURIIntent, "catalog", phraseText, table.matrix.Rows(), res.scan)
+		}
 
 		if !hasObject {
 			continue
@@ -653,27 +818,36 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo) []Ma
 				continue
 			}
 			for _, cls := range use.Classes {
+				evidence := "URI " + use.URI.URI
 				out = append(out, Mapping{
 					Phrase:   vp.String(),
 					Class:    cls,
 					Context:  ctxinfo.APIURIIntent,
-					Evidence: "URI " + use.URI.URI,
+					Evidence: evidence,
 				})
+				simHist.Observe(sim)
+				if tr != nil {
+					tr.AddMatch(obs.MatchTrace{
+						Phrase: vp.String(), Class: cls,
+						Stage: stageAPIURIIntent, Source: "URI", Evidence: evidence,
+						Similarity: sim,
+					})
+				}
 			}
 		}
 
 		// Intents (lines 19–26): object vs common-intent nouns.
 		for ii := range info.Intents {
 			use := &info.Intents[ii]
-			matched := false
+			matched, sim := false, 0.0
 			for ni, noun := range use.Nouns {
 				if useKernel && info.intentNounVecs != nil {
-					if wordvec.Dot(objVec, info.intentNounVecs[ii][ni]) >= threshold {
-						matched = true
+					if d := wordvec.Dot(objVec, info.intentNounVecs[ii][ni]); d >= threshold {
+						matched, sim = true, d
 						break
 					}
-				} else if s.vec.Similarity(vp.Object, []string{noun}) >= threshold {
-					matched = true
+				} else if c := s.vec.Similarity(vp.Object, []string{noun}); c >= threshold {
+					matched, sim = true, c
 					break
 				}
 			}
@@ -681,12 +855,21 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo) []Ma
 				continue
 			}
 			for _, cls := range use.Classes {
+				evidence := "intent " + use.Action
 				out = append(out, Mapping{
 					Phrase:   vp.String(),
 					Class:    cls,
 					Context:  ctxinfo.APIURIIntent,
-					Evidence: "intent " + use.Action,
+					Evidence: evidence,
 				})
+				simHist.Observe(sim)
+				if tr != nil {
+					tr.AddMatch(obs.MatchTrace{
+						Phrase: vp.String(), Class: cls,
+						Stage: stageAPIURIIntent, Source: "intent", Evidence: evidence,
+						Similarity: sim,
+					})
+				}
 			}
 		}
 	}
@@ -697,20 +880,30 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo) []Ma
 
 // localizeGeneralTask looks the verb phrase up in the Q&A index, takes the
 // top-k framework APIs, and recommends the classes calling them.
-func (s *Solver) localizeGeneralTask(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+func (s *Solver) localizeGeneralTask(ra *ReviewAnalysis, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
 	if s.qaIndex == nil {
 		return nil
 	}
 	var out []Mapping
+	simHist := s.simHist()
 	query := func(phraseText string, words []string) {
 		for _, ref := range s.qaIndex.TopAPIs(words, 5) {
 			for _, cls := range info.Graph.ClassesCalling(ref.Class, ref.Method) {
+				evidence := "Q&A task API " + ref.Key()
 				out = append(out, Mapping{
 					Phrase:   phraseText,
 					Class:    cls,
 					Context:  ctxinfo.GeneralTask,
-					Evidence: "Q&A task API " + ref.Key(),
+					Evidence: evidence,
 				})
+				simHist.Observe(1)
+				if tr != nil {
+					tr.AddMatch(obs.MatchTrace{
+						Phrase: phraseText, Class: cls,
+						Stage: stageGeneralTask, Source: "Q&A task API", Evidence: evidence,
+						Similarity: 1,
+					})
+				}
 			}
 		}
 	}
@@ -732,8 +925,26 @@ func (s *Solver) localizeGeneralTask(ra *ReviewAnalysis, info *StaticInfo) []Map
 // localizeException maps "<type> exception" noun phrases to the classes
 // calling framework APIs that throw matching exceptions, and to developer
 // methods that catch them.
-func (s *Solver) localizeException(ra *ReviewAnalysis, info *StaticInfo) []Mapping {
+func (s *Solver) localizeException(ra *ReviewAnalysis, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
 	var out []Mapping
+	simHist := s.simHist()
+	add := func(phraseText, cls, method, source, evidence string) {
+		out = append(out, Mapping{
+			Phrase:   phraseText,
+			Class:    cls,
+			Method:   method,
+			Context:  ctxinfo.Exception,
+			Evidence: evidence,
+		})
+		simHist.Observe(1)
+		if tr != nil {
+			tr.AddMatch(obs.MatchTrace{
+				Phrase: phraseText, Class: cls, Method: method,
+				Stage: stageException, Source: source, Evidence: evidence,
+				Similarity: 1,
+			})
+		}
+	}
 	for _, np := range ra.NounPhrases {
 		words := phrase.ExceptionType(np)
 		if len(words) == 0 {
@@ -746,12 +957,8 @@ func (s *Solver) localizeException(ra *ReviewAnalysis, info *StaticInfo) []Mappi
 					continue
 				}
 				for _, cls := range use.Classes {
-					out = append(out, Mapping{
-						Phrase:   np.String(),
-						Class:    cls,
-						Context:  ctxinfo.Exception,
-						Evidence: "API " + use.API.Signature() + " throws " + ex,
-					})
+					add(np.String(), cls, "", "API exception",
+						"API "+use.API.Signature()+" throws "+ex)
 				}
 			}
 		}
@@ -764,22 +971,12 @@ func (s *Solver) localizeException(ra *ReviewAnalysis, info *StaticInfo) []Mappi
 			if !exceptionMatches(site.Exception, words) {
 				continue
 			}
-			out = append(out, Mapping{
-				Phrase:   np.String(),
-				Class:    site.Site.Class(),
-				Method:   site.Site.Method.Name,
-				Context:  ctxinfo.Exception,
-				Evidence: "handles " + site.Exception,
-			})
+			add(np.String(), site.Site.Class(), site.Site.Method.Name,
+				"exception handler", "handles "+site.Exception)
 			for _, caller := range info.Graph.Callers(site.Site.Method.QualifiedName()) {
 				cls, method := splitQualified(caller)
-				out = append(out, Mapping{
-					Phrase:   np.String(),
-					Class:    cls,
-					Method:   method,
-					Context:  ctxinfo.Exception,
-					Evidence: "calls " + site.Site.Method.Name + " which handles " + site.Exception,
-				})
+				add(np.String(), cls, method, "exception handler caller",
+					"calls "+site.Site.Method.Name+" which handles "+site.Exception)
 			}
 		}
 	}

@@ -3,6 +3,9 @@ package core
 import (
 	"runtime"
 	"sync"
+
+	"reviewsolver/internal/obs"
+	"reviewsolver/internal/wordvec"
 )
 
 // matchChunkMin is the smallest number of candidates one worker should own:
@@ -23,14 +26,27 @@ func normalizeWorkers(n int) int {
 	}
 }
 
-// parallelMappings evaluates fn over the index range [0, n) split into at
-// most `workers` contiguous chunks and concatenates the chunk results in
-// chunk order. Because every localizer appends mappings in candidate order,
-// the concatenation is byte-identical to a single sequential fn(0, n) pass —
-// rankings downstream cannot tell the two apart.
-func parallelMappings(n, workers int, fn func(start, end int) []Mapping) []Mapping {
+// scanChunk is one worker chunk's output from a phrase×candidate matching
+// loop: the mappings it emitted, the explain-trace matches mirroring them
+// (empty unless a trace is being collected), and the chunk-local kernel
+// scan tally. Each chunk owns its own scanChunk — nothing is shared while
+// workers run — and the merge after the join folds them in chunk order, so
+// mapping/match order and the summed scan counts are byte-identical to a
+// sequential pass and race-free under Pool and WithParallelism.
+type scanChunk struct {
+	maps    []Mapping
+	matches []obs.MatchTrace
+	scan    wordvec.ScanCount
+}
+
+// parallelChunks evaluates fn over the index range [0, n) split into at
+// most `workers` contiguous chunks and merges the chunk results in chunk
+// order. Because every localizer appends mappings in candidate order, the
+// concatenation is byte-identical to a single sequential fn(0, n) pass —
+// rankings and explain traces downstream cannot tell the two apart.
+func parallelChunks(n, workers int, fn func(start, end int) scanChunk) scanChunk {
 	if n == 0 {
-		return nil
+		return scanChunk{}
 	}
 	if workers > n/matchChunkMin {
 		workers = n / matchChunkMin
@@ -38,7 +54,7 @@ func parallelMappings(n, workers int, fn func(start, end int) []Mapping) []Mappi
 	if workers < 2 {
 		return fn(0, n)
 	}
-	parts := make([][]Mapping, workers)
+	parts := make([]scanChunk, workers)
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -57,16 +73,22 @@ func parallelMappings(n, workers int, fn func(start, end int) []Mapping) []Mappi
 		}(w, start, end)
 	}
 	wg.Wait()
-	total := 0
-	for _, p := range parts {
-		total += len(p)
+	var out scanChunk
+	totalMaps, totalMatches := 0, 0
+	for i := range parts {
+		totalMaps += len(parts[i].maps)
+		totalMatches += len(parts[i].matches)
 	}
-	if total == 0 {
-		return nil
+	if totalMaps > 0 {
+		out.maps = make([]Mapping, 0, totalMaps)
 	}
-	out := make([]Mapping, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
+	if totalMatches > 0 {
+		out.matches = make([]obs.MatchTrace, 0, totalMatches)
+	}
+	for i := range parts {
+		out.maps = append(out.maps, parts[i].maps...)
+		out.matches = append(out.matches, parts[i].matches...)
+		out.scan.Merge(parts[i].scan)
 	}
 	return out
 }

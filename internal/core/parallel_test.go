@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"reviewsolver/internal/ctxinfo"
+	"reviewsolver/internal/obs"
 	"reviewsolver/internal/synth"
 )
 
@@ -21,20 +22,27 @@ func TestNormalizeWorkers(t *testing.T) {
 	}
 }
 
-// TestParallelMappingsChunkOrder checks the deterministic merge: any worker
-// count must reproduce the sequential single-pass output exactly.
-func TestParallelMappingsChunkOrder(t *testing.T) {
-	gen := func(start, end int) []Mapping {
-		var out []Mapping
+// TestParallelChunksOrder checks the deterministic merge: any worker count
+// must reproduce the sequential single-pass output exactly — mappings,
+// trace matches, and summed scan counts alike.
+func TestParallelChunksOrder(t *testing.T) {
+	gen := func(start, end int) scanChunk {
+		var out scanChunk
 		for i := start; i < end; i++ {
+			out.scan.Evaluated++
 			// Keep every third candidate so chunks produce ragged outputs.
 			if i%3 != 0 {
 				continue
 			}
-			out = append(out, Mapping{
+			out.scan.Matched++
+			out.maps = append(out.maps, Mapping{
 				Phrase:  "p" + strconv.Itoa(i),
 				Class:   "C" + strconv.Itoa(i),
 				Context: ctxinfo.AppSpecificTask,
+			})
+			out.matches = append(out.matches, obs.MatchTrace{
+				Phrase: "p" + strconv.Itoa(i),
+				Class:  "C" + strconv.Itoa(i),
 			})
 		}
 		return out
@@ -42,10 +50,17 @@ func TestParallelMappingsChunkOrder(t *testing.T) {
 	for _, n := range []int{0, 1, 31, 32, 64, 65, 100, 1000, 1001} {
 		want := gen(0, n)
 		for _, workers := range []int{1, 2, 3, 7, 16, 64} {
-			got := parallelMappings(n, workers, gen)
-			if !reflect.DeepEqual(got, want) {
+			got := parallelChunks(n, workers, gen)
+			if !reflect.DeepEqual(got.maps, want.maps) {
 				t.Fatalf("n=%d workers=%d: parallel merge differs from sequential (len %d vs %d)",
-					n, workers, len(got), len(want))
+					n, workers, len(got.maps), len(want.maps))
+			}
+			if !reflect.DeepEqual(got.matches, want.matches) {
+				t.Fatalf("n=%d workers=%d: merged trace matches differ", n, workers)
+			}
+			if got.scan != want.scan {
+				t.Fatalf("n=%d workers=%d: merged scan counts %+v != sequential %+v",
+					n, workers, got.scan, want.scan)
 			}
 		}
 	}

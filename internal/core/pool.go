@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"reviewsolver/internal/apk"
+	"reviewsolver/internal/obs"
 )
 
 // ReviewInput is one review to localize in a batch.
@@ -52,15 +53,46 @@ func (p *Pool) Size() int { return p.workers }
 // Snapshot returns the shared precomputed state backing the pool.
 func (p *Pool) Snapshot() *Snapshot { return p.snap }
 
+// WithObserver installs a telemetry recorder on the pool's shared solver.
+// Must be called before Localize; the pool then reports job counters and
+// queue/worker occupancy gauges alongside the per-review pipeline metrics.
+func (p *Pool) WithObserver(rec *obs.Recorder) *Pool {
+	p.solver.rec = rec
+	return p
+}
+
 // Localize runs the full pipeline over the batch and returns one Result per
 // input, in input order. All workers exit before Localize returns. Localize
 // is itself safe to call concurrently: every worker reads through the
 // shared snapshot.
 func (p *Pool) Localize(app *apk.App, reviews []ReviewInput) []*Result {
+	results, _ := p.localize(app, reviews, false)
+	return results
+}
+
+// LocalizeTraced is Localize plus one explain trace per review (aligned
+// with the results slice). Each trace additionally records the pool
+// occupancy — queue depth and busy workers — observed when a worker picked
+// the review up; those two fields are scheduling-dependent, everything else
+// in the trace is deterministic.
+func (p *Pool) LocalizeTraced(app *apk.App, reviews []ReviewInput) ([]*Result, []*obs.ReviewTrace) {
+	return p.localize(app, reviews, true)
+}
+
+func (p *Pool) localize(app *apk.App, reviews []ReviewInput, traced bool) ([]*Result, []*obs.ReviewTrace) {
 	results := make([]*Result, len(reviews))
-	if len(reviews) == 0 {
-		return results
+	var traces []*obs.ReviewTrace
+	if traced {
+		traces = make([]*obs.ReviewTrace, len(reviews))
 	}
+	if len(reviews) == 0 {
+		return results, traces
+	}
+	rec := p.solver.rec
+	queued := rec.Gauge(metricPoolQueueDepth)
+	busy := rec.Gauge(metricPoolBusy)
+	rec.Counter(metricPoolJobs).Add(int64(len(reviews)))
+	queued.Add(int64(len(reviews)))
 	workers := p.workers
 	if workers > len(reviews) {
 		workers = len(reviews)
@@ -72,7 +104,21 @@ func (p *Pool) Localize(app *apk.App, reviews []ReviewInput) []*Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = p.solver.LocalizeReview(app, reviews[i].Text, reviews[i].PublishedAt)
+				queued.Add(-1)
+				busy.Add(1)
+				if traced {
+					tr := obs.NewReviewTrace(reviews[i].Text)
+					tr.Pool = &obs.PoolTrace{
+						Workers:     p.workers,
+						QueueDepth:  int(queued.Value()),
+						BusyWorkers: int(busy.Value()),
+					}
+					traces[i] = tr
+					results[i] = p.solver.localizeReview(app, reviews[i].Text, reviews[i].PublishedAt, tr)
+				} else {
+					results[i] = p.solver.LocalizeReview(app, reviews[i].Text, reviews[i].PublishedAt)
+				}
+				busy.Add(-1)
 			}
 		}()
 	}
@@ -81,5 +127,5 @@ func (p *Pool) Localize(app *apk.App, reviews []ReviewInput) []*Result {
 	}
 	close(jobs)
 	wg.Wait()
-	return results
+	return results, traces
 }

@@ -5,6 +5,7 @@ import (
 
 	"reviewsolver/internal/apk"
 	"reviewsolver/internal/code2vec"
+	"reviewsolver/internal/obs"
 	"reviewsolver/internal/phrase"
 	"reviewsolver/internal/pos"
 	"reviewsolver/internal/qa"
@@ -39,6 +40,11 @@ type Solver struct {
 	// parallelism bounds the fan-out of the phrase×candidate matching
 	// loops (§4.1.1 and Algorithm 1). 1 means strictly sequential.
 	parallelism int
+
+	// rec receives spans, counters, and histograms from the pipeline. Nil
+	// (the default) disables all metric/span emission: every hook is
+	// nil-safe, so the hot path pays only nil checks.
+	rec *obs.Recorder
 
 	// legacyCosine routes the phrase×candidate scans through the retired
 	// per-struct full-cosine path instead of the flattened dot kernel. The
@@ -179,6 +185,14 @@ func WithLegacyCosine() Option {
 	return func(s *Solver) { s.legacyCosine = true }
 }
 
+// WithObserver installs a telemetry recorder. The pipeline then emits
+// stage spans (with durations feeding the latency histograms and the
+// structured span log), prescreen counters, and the match-similarity
+// histogram. Observation never changes localization output.
+func WithObserver(rec *obs.Recorder) Option {
+	return func(s *Solver) { s.rec = rec }
+}
+
 // WithQAIndex installs the general-task Q&A index (§4.2.2).
 func WithQAIndex(idx *qa.Index) Option {
 	return func(s *Solver) { s.qaIndex = idx }
@@ -275,23 +289,87 @@ func (r *Result) RankedClassNames() []string {
 // is a function-error review (§3.2.2), analyze its sentences (§3.2.3–4),
 // run every applicable localizer (§4.1–4.2), and rank the classes (§4.3).
 func (s *Solver) LocalizeReview(app *apk.App, text string, publishedAt time.Time) *Result {
+	return s.localizeReview(app, text, publishedAt, nil)
+}
+
+// LocalizeReviewTraced is LocalizeReview plus an explain trace: a
+// deterministic per-review record of every phrase → candidate correlation
+// (with its information source and similarity), every kernel prescreen
+// scan, and the stage walk. The trace carries no wall-clock fields, so for
+// a fixed corpus and review its JSON encoding is byte-identical across
+// runs and worker counts.
+func (s *Solver) LocalizeReviewTraced(app *apk.App, text string, publishedAt time.Time) (*Result, *obs.ReviewTrace) {
+	tr := obs.NewReviewTrace(text)
+	res := s.localizeReview(app, text, publishedAt, tr)
+	return res, tr
+}
+
+// localizeReview is the shared pipeline body. tr may be nil (no explain
+// trace); s.rec may be nil (no metrics/spans). Both off is the default and
+// costs only nil checks.
+func (s *Solver) localizeReview(app *apk.App, text string, publishedAt time.Time, tr *obs.ReviewTrace) *Result {
+	root := s.rec.Start(stageReview)
+	s.rec.Counter(metricReviews).Add(1)
+
+	cs := root.Child(stageClassify)
 	res := &Result{IsError: s.IsErrorReview(text)}
+	cs.End()
+	tr.AddStage(stageClassify, stageReview, 0)
+	if tr != nil {
+		tr.IsError = res.IsError
+	}
 	if !res.IsError {
+		root.End()
 		return res
 	}
+	s.rec.Counter(metricErrorReviews).Add(1)
+
 	current, previous, ok := app.ReleaseBefore(publishedAt)
 	if !ok {
 		// No release predates the review; fall back to the earliest.
 		if len(app.Releases) == 0 {
+			root.End()
 			return res
 		}
 		current, previous = app.Releases[0], nil
 	}
 	res.Release = current
+	if tr != nil {
+		tr.Release = current.Version
+	}
+	ss := root.Child(stageStatic)
 	info := s.StaticFor(current)
+	ss.End()
+	tr.AddStage(stageStatic, stageReview, 0)
 
+	as := root.Child(stageAnalyze)
 	res.Analysis = s.AnalyzeReview(text)
-	res.Mappings = s.Localize(res.Analysis, info, previous, current)
+	as.End()
+	tr.AddStage(stageAnalyze, stageReview, 0)
+
+	res.Mappings = s.localize(res.Analysis, info, previous, current, tr, root)
+	tr.AddStage(stageLocalize, stageReview, len(res.Mappings))
+
+	rs := root.Child(stageRank)
 	res.Ranked = RankClasses(res.Mappings, info.Graph, TopN)
+	rs.End()
+	tr.AddStage(stageRank, stageReview, 0)
+
+	if res.Localized() {
+		s.rec.Counter(metricLocalizedReviews).Add(1)
+	}
+	s.rec.Counter(metricMappings).Add(int64(len(res.Mappings)))
+	if tr != nil {
+		for i, rc := range res.Ranked {
+			tr.Ranked = append(tr.Ranked, obs.RankedTrace{
+				Rank:         i + 1,
+				Class:        rc.Class,
+				Importance:   rc.Importance,
+				Dependencies: rc.Dependencies,
+				Matches:      tr.MatchesFor(rc.Class),
+			})
+		}
+	}
+	root.End()
 	return res
 }

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer is the -debug-addr HTTP endpoint: expvar at /debug/vars,
+// the full net/http/pprof suite at /debug/pprof/, the registry's plain
+// text exposition at /metrics, and a trivial /healthz.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebugServer binds addr (e.g. "127.0.0.1:6060"; ":0" picks a free
+// port) and serves the debug endpoints in a background goroutine. The
+// registry is also published to expvar so /debug/vars carries the pipeline
+// metrics next to the runtime's memstats.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	reg.PublishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	ds := &DebugServer{srv: &http.Server{Handler: mux}, ln: ln}
+	go func() { _ = ds.srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (ds *DebugServer) Addr() string { return ds.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (ds *DebugServer) Close() error {
+	if ds == nil {
+		return nil
+	}
+	return ds.srv.Close()
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reviews_total").Add(5)
+	ds, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base := "http://" + ds.Addr()
+
+	fetch := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+
+	if body := fetch("/debug/vars"); !strings.Contains(body, `"reviewsolver"`) {
+		t.Errorf("/debug/vars missing the reviewsolver var:\n%s", body)
+	}
+	if body := fetch("/metrics"); !strings.Contains(body, "counter reviews_total 5") {
+		t.Errorf("/metrics missing the counter line:\n%s", body)
+	}
+	if body := fetch("/healthz"); !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %q, want ok", body)
+	}
+	if body := fetch("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index missing profiles:\n%s", body)
+	}
+}
+
+func TestDebugServerNilClose(t *testing.T) {
+	var ds *DebugServer
+	if err := ds.Close(); err != nil {
+		t.Errorf("nil Close() = %v", err)
+	}
+}

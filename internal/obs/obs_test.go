@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestSpanTreeGolden pins the span event stream: stages close leaf-first,
+// each event names its parent, and the (stage, parent) sequence is
+// deterministic for a fixed call tree.
+func TestSpanTreeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{
+		// Strip time so the decoded stream is fully deterministic.
+		ReplaceAttr: func(_ []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+	rec := NewRecorder(NewRegistry(), logger)
+
+	root := rec.Start("review")
+	c := root.Child("classify")
+	c.End()
+	loc := root.Child("localize")
+	gui := loc.Child("gui")
+	gui.End()
+	loc.End()
+	root.End()
+
+	type event struct {
+		Stage  string `json:"stage"`
+		Parent string `json:"parent"`
+	}
+	var got []event
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("span event %q: %v", line, err)
+		}
+		got = append(got, e)
+	}
+	want := []event{
+		{"classify", "review"},
+		{"gui", "localize"},
+		{"localize", "review"},
+		{"review", ""},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d span events, want %d:\n%s", len(got), len(want), buf.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSpanFeedsRegistry: ending a span must bump the stage call counter and
+// the stage latency histogram even without a logger.
+func TestSpanFeedsRegistry(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, nil)
+	rec.Start("rank").End()
+	rec.Start("rank").End()
+	if got := reg.Counter("stage_rank_calls_total").Value(); got != 2 {
+		t.Errorf("stage_rank_calls_total = %d, want 2", got)
+	}
+	if got := reg.Histogram("stage_rank_ns", nil).Count(); got != 2 {
+		t.Errorf("stage_rank_ns count = %d, want 2", got)
+	}
+	if d := rec.Start("rank").End(); d < 0 {
+		t.Errorf("span duration %v is negative", d)
+	}
+}
+
+// TestNewRecorderDefaults: a nil registry argument gets a private registry,
+// so NewRecorder(nil, nil) is a usable sink.
+func TestNewRecorderDefaults(t *testing.T) {
+	rec := NewRecorder(nil, nil)
+	if rec.Registry() == nil {
+		t.Fatal("NewRecorder(nil, nil) has no registry")
+	}
+	rec.Counter("c").Add(1)
+	if got := rec.Registry().Counter("c").Value(); got != 1 {
+		t.Errorf("counter through default registry = %d, want 1", got)
+	}
+}

@@ -181,55 +181,77 @@ func (m *Matrix) bound(q *Query, r int) float64 {
 	return b
 }
 
+// ScanCount tallies how the prescreen behaved over one scan: Pruned rows
+// were skipped on the bound alone, Evaluated rows paid a full dot product,
+// Matched rows crossed the threshold. Counts are pure functions of the
+// model and the scanned corpus, so they are exactly reproducible — the
+// telemetry layer aggregates them per worker chunk and cmd/benchgate gates
+// them to catch kernel regressions without wall-clock noise.
+type ScanCount struct {
+	Pruned, Evaluated, Matched int
+}
+
+// Merge accumulates another chunk's counts.
+func (c *ScanCount) Merge(o ScanCount) {
+	c.Pruned += o.Pruned
+	c.Evaluated += o.Evaluated
+	c.Matched += o.Matched
+}
+
 // ScanThreshold calls yield(row, dot) in row order for every row in
 // [start, end) whose dot with the query reaches the threshold. With a
 // finished sketch, rows whose upper bound provably cannot reach the
 // threshold are skipped without reading their Dim floats; the yielded set is
 // identical either way.
 func (m *Matrix) ScanThreshold(q *Query, threshold float64, start, end int, yield func(row int, dot float64)) {
+	m.ScanThresholdCount(q, threshold, start, end, yield)
+}
+
+// ScanThresholdCount is ScanThreshold returning the scan's ScanCount. The
+// bookkeeping is three register increments alongside the bound test, so
+// the counted scan is the only scan — there is no separate stats pass.
+func (m *Matrix) ScanThresholdCount(q *Query, threshold float64, start, end int, yield func(row int, dot float64)) ScanCount {
+	var sc ScanCount
 	cutoff := threshold - prescreenEps
 	for r := start; r < end; r++ {
 		if m.res != nil && m.bound(q, r) < cutoff {
+			sc.Pruned++
 			continue
 		}
+		sc.Evaluated++
 		if d := dotRow(&q.Vec, m.data[r*Dim:(r+1)*Dim]); d >= threshold {
+			sc.Matched++
 			yield(r, d)
 		}
 	}
+	return sc
 }
 
 // AnyAtLeast reports whether any row in [start, end) reaches the threshold,
 // stopping at the first hit (the per-entry early break of Algorithm 1).
 func (m *Matrix) AnyAtLeast(q *Query, threshold float64, start, end int) bool {
+	ok, _ := m.AnyAtLeastCount(q, threshold, start, end)
+	return ok
+}
+
+// AnyAtLeastCount is AnyAtLeast returning the counts of the rows actually
+// touched: because the scan stops at the first hit, Matched is at most 1
+// and rows after the hit are neither pruned nor evaluated.
+func (m *Matrix) AnyAtLeastCount(q *Query, threshold float64, start, end int) (bool, ScanCount) {
+	var sc ScanCount
 	cutoff := threshold - prescreenEps
 	for r := start; r < end; r++ {
 		if m.res != nil && m.bound(q, r) < cutoff {
+			sc.Pruned++
 			continue
 		}
+		sc.Evaluated++
 		if dotRow(&q.Vec, m.data[r*Dim:(r+1)*Dim]) >= threshold {
-			return true
+			sc.Matched++
+			return true, sc
 		}
 	}
-	return false
-}
-
-// ScanStats scans the whole matrix and reports how the prescreen behaved:
-// pruned rows (skipped on the bound alone), evaluated rows (full dot
-// computed), and matched rows. Deterministic for a fixed model and corpus —
-// cmd/benchgate snapshots these counts to catch kernel regressions.
-func (m *Matrix) ScanStats(q *Query, threshold float64) (pruned, evaluated, matched int) {
-	cutoff := threshold - prescreenEps
-	for r := 0; r < m.rows; r++ {
-		if m.res != nil && m.bound(q, r) < cutoff {
-			pruned++
-			continue
-		}
-		evaluated++
-		if dotRow(&q.Vec, m.data[r*Dim:(r+1)*Dim]) >= threshold {
-			matched++
-		}
-	}
-	return pruned, evaluated, matched
+	return false, sc
 }
 
 // --- anchor basis ---------------------------------------------------------------

@@ -172,9 +172,10 @@ func TestScanThresholdMatchesBruteForce(t *testing.T) {
 	}
 }
 
-// TestScanStatsConsistent: pruned+evaluated covers every row, and matched
-// equals the brute-force match count.
-func TestScanStatsConsistent(t *testing.T) {
+// TestScanCountConsistent: pruned+evaluated covers every row, matched
+// equals the brute-force match count, and the early-exit AnyAtLeastCount
+// books exactly the rows it touched.
+func TestScanCountConsistent(t *testing.T) {
 	m := NewModel()
 	cands := phraseCorpus(m)
 	mat := NewMatrix(len(cands))
@@ -184,9 +185,9 @@ func TestScanStatsConsistent(t *testing.T) {
 	mat.Finish()
 	qv := m.PhraseVector([]string{"fetch", "mail"})
 	q := PrepareQuery(qv)
-	pruned, evaluated, matched := mat.ScanStats(&q, DefaultThreshold)
-	if pruned+evaluated != mat.Rows() {
-		t.Fatalf("pruned %d + evaluated %d != rows %d", pruned, evaluated, mat.Rows())
+	sc := mat.ScanThresholdCount(&q, DefaultThreshold, 0, mat.Rows(), func(int, float64) {})
+	if sc.Pruned+sc.Evaluated != mat.Rows() {
+		t.Fatalf("pruned %d + evaluated %d != rows %d", sc.Pruned, sc.Evaluated, mat.Rows())
 	}
 	want := 0
 	for _, c := range cands {
@@ -194,8 +195,27 @@ func TestScanStatsConsistent(t *testing.T) {
 			want++
 		}
 	}
-	if matched != want {
-		t.Fatalf("matched %d != brute force %d", matched, want)
+	if sc.Matched != want {
+		t.Fatalf("matched %d != brute force %d", sc.Matched, want)
+	}
+
+	hit, asc := mat.AnyAtLeastCount(&q, DefaultThreshold, 0, mat.Rows())
+	if hit != (want > 0) {
+		t.Fatalf("AnyAtLeastCount hit=%v, brute force %d matches", hit, want)
+	}
+	if asc.Matched > 1 {
+		t.Fatalf("early-exit scan reported %d matches", asc.Matched)
+	}
+	if asc.Pruned+asc.Evaluated > mat.Rows() {
+		t.Fatalf("early-exit scan touched %d rows of %d", asc.Pruned+asc.Evaluated, mat.Rows())
+	}
+
+	var merged ScanCount
+	mid := mat.Rows() / 2
+	merged.Merge(mat.ScanThresholdCount(&q, DefaultThreshold, 0, mid, func(int, float64) {}))
+	merged.Merge(mat.ScanThresholdCount(&q, DefaultThreshold, mid, mat.Rows(), func(int, float64) {}))
+	if merged != sc {
+		t.Fatalf("chunked counts %+v != whole-scan counts %+v", merged, sc)
 	}
 }
 
