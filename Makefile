@@ -5,7 +5,7 @@ GO      ?= go
 BENCHDIR ?= bench
 TOL     ?= 0.02
 
-.PHONY: ci fmt vet build test race benchgate bench bench-all obs-smoke update-baselines clean
+.PHONY: ci fmt vet build test race benchgate bench bench-all obs-smoke profile update-baselines clean
 
 ci:
 	./ci.sh
@@ -36,7 +36,7 @@ update-baselines:
 # benchmarks and the end-to-end localization comparison. Fast enough for CI;
 # catches "kernel path silently disabled" and compile rot in the benchmarks.
 bench:
-	$(GO) test -run xxx -bench 'CosineVsDot|MatrixScan|LocalizeReview|KernelVsLegacy' -benchtime 1x .
+	$(GO) test -run xxx -bench 'CosineVsDot|MatrixScan|LocalizeReview|KernelVsLegacy|CorpusThroughput' -benchtime 1x .
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -46,6 +46,17 @@ bench-all:
 # counts), and scrape the expvar/metrics/health endpoints once.
 obs-smoke:
 	$(GO) run ./cmd/obssmoke
+
+# Profiling workflow: run the streaming corpus benchmark long enough for a
+# useful sample and drop CPU + heap profiles under $(PROFDIR). Inspect with
+#   go tool pprof $(PROFDIR)/cpu.out
+#   go tool pprof -sample_index=alloc_objects $(PROFDIR)/heap.out
+PROFDIR ?= profiles
+profile:
+	@mkdir -p $(PROFDIR)
+	$(GO) test -run xxx -bench 'CorpusThroughput|ParallelLocalizeReview$$|AnalyzeReview' -benchtime 3s \
+		-cpuprofile $(PROFDIR)/cpu.out -memprofile $(PROFDIR)/heap.out .
+	@echo "profiles written to $(PROFDIR)/cpu.out and $(PROFDIR)/heap.out"
 
 clean:
 	$(GO) clean ./...

@@ -318,6 +318,35 @@ func BenchmarkPoolThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkCorpusThroughput drains the 100-review batch through the
+// streaming LocalizeCorpus API (bounded channels, deterministic output
+// order) and reports end-to-end reviews/sec. Compare against
+// BenchmarkPoolThroughput: the stream adds ordering but shares the same
+// warm frontend caches, so steady-state cost per review is comparable.
+func BenchmarkCorpusThroughput(b *testing.B) {
+	app, inputs := throughputInputs(100)
+	pool := core.NewPool(0)
+	pool.Snapshot().PrecomputeApp(app.App)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := make(chan core.ReviewInput)
+		go func() {
+			for _, r := range inputs {
+				in <- r
+			}
+			close(in)
+		}()
+		n := 0
+		for range pool.LocalizeCorpus(app.App, in) {
+			n++
+		}
+		if n != len(inputs) {
+			b.Fatalf("drained %d results, want %d", n, len(inputs))
+		}
+	}
+	b.ReportMetric(float64(len(inputs))*float64(b.N)/b.Elapsed().Seconds(), "reviews/s")
+}
+
 // BenchmarkSnapshotWarmup measures the one-time cost of building the shared
 // precomputed state (catalog embeddings + all release extractions). A pool
 // of any size pays this exactly once.

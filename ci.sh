@@ -33,14 +33,14 @@ go test ./...
 step "go test -race ./internal/core/... ./internal/obs/..."
 go test -race ./internal/core/... ./internal/obs/...
 
-step "benchgate (tier-1 table metric drift + kernel scan stats + telemetry totals)"
+step "benchgate (tier-1 table metric drift + kernel scan stats + telemetry totals + front-end allocs)"
 go run ./cmd/benchgate -dir "${BENCHDIR:-bench}" -tol "${TOL:-0.02}"
 
 step "obs smoke (explain-trace schema, determinism, debug endpoints)"
 go run ./cmd/obssmoke
 
 step "bench smoke (kernel benchmarks, 1 iteration)"
-go test -run xxx -bench 'CosineVsDot|MatrixScan|LocalizeReview|KernelVsLegacy' -benchtime 1x .
+go test -run xxx -bench 'CosineVsDot|MatrixScan|LocalizeReview|KernelVsLegacy|CorpusThroughput' -benchtime 1x .
 
 echo ""
 echo "CI PASS"

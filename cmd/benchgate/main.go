@@ -60,6 +60,7 @@ func run() error {
 		seed   = flag.Int64("seed", 1, "generator seed (must match the stored baselines)")
 		kernel = flag.Bool("kernel", true, "also gate the similarity-kernel scan snapshot (BENCH_KERNEL.json)")
 		obsFlg = flag.Bool("obs", true, "also gate the telemetry registry snapshot (BENCH_OBS.json)")
+		frontE = flag.Bool("frontend", true, "also gate front-end allocation counts and cache hit rate (BENCH_FRONTEND.json)")
 		update = flag.Bool("update", false, "rewrite the baselines from this run")
 	)
 	flag.Parse()
@@ -117,6 +118,23 @@ func run() error {
 		cur := obsSnapshot(*seed)
 		path := filepath.Join(*dir, "BENCH_OBS.json")
 		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, *tol, *update, "obs     ")
+		if err != nil {
+			return err
+		}
+		if madeBaseline {
+			created++
+		}
+		if drifted {
+			failed++
+		}
+	}
+	if *frontE {
+		cur, err := frontendSnapshot(*seed)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, "BENCH_FRONTEND.json")
+		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, *tol, *update, "frontend")
 		if err != nil {
 			return err
 		}

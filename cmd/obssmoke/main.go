@@ -111,6 +111,11 @@ func run() error {
 		"stage_review_ns|count", "stage_localize_ns|count",
 		"prescreen_pruned_total", "prescreen_evaluated_total",
 		"match_similarity|count",
+		// Front-end engine: the sentence cache must be consulted (and hit —
+		// the seeded corpus repeats sentences) and the drained pool must have
+		// published the interner and cache residency gauges.
+		"analysis_cache_hits_total", "analysis_cache_misses_total",
+		"interner_size", "analysis_cache_size",
 	} {
 		if snap[key] <= 0 {
 			return fmt.Errorf("registry: %s = %g, want > 0", key, snap[key])

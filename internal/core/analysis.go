@@ -4,7 +4,6 @@ import (
 	"strings"
 
 	"reviewsolver/internal/phrase"
-	"reviewsolver/internal/sentiment"
 	"reviewsolver/internal/textproc"
 )
 
@@ -26,52 +25,83 @@ type ReviewAnalysis struct {
 	Patterns []phrase.PatternMatch
 	// Quoted are verbatim quoted spans (candidate error messages).
 	Quoted []string
+
+	// vpKeys and npKeys are the pre-rendered String() forms of the phrases
+	// above, aligned by index, carried from the sentence cache so localizers
+	// don't re-join the words per phrase×candidate pass. They may be absent
+	// on hand-built analyses; the accessors below fall back to rendering.
+	vpKeys []string
+	npKeys []string
+}
+
+// vpKey returns the rendered text of VerbPhrases[i].
+func (ra *ReviewAnalysis) vpKey(i int) string {
+	if i < len(ra.vpKeys) {
+		return ra.vpKeys[i]
+	}
+	return ra.VerbPhrases[i].String()
+}
+
+// npKey returns the rendered text of NounPhrases[i].
+func (ra *ReviewAnalysis) npKey(i int) string {
+	if i < len(ra.npKeys) {
+		return ra.npKeys[i]
+	}
+	return ra.NounPhrases[i].String()
 }
 
 // AnalyzeReview runs the review-analysis pipeline of §3.2 on one review:
 // pre-processing (ASCII cleanup, sentence split, typo repair, abbreviation
 // expansion), sentiment-based positive-clause removal (§3.2.3), intent
 // filtering (§3.2.4), and phrase extraction.
+// Per-sentence work reads through the frontend cache: the first encounter of
+// a sentence pays the full clause pipeline (computeSentence), repeats are a
+// map hit. The merged loop below is output-equivalent to the seed's
+// two-pass structure (collect kept sentences, then extract per kept
+// sentence): extraction is per-sentence independent, results append in
+// sentence order, and the cross-sentence VP/NP dedup keeps first-seen order
+// via the cached key strings.
 func (s *Solver) AnalyzeReview(text string) *ReviewAnalysis {
 	ra := &ReviewAnalysis{Quoted: quotedSpans(text)}
+	scratch := s.fe.scratch.Get().(*analysisScratch)
+	seenVP, seenNP := scratch.seenVP, scratch.seenNP
 
 	for _, sent := range textproc.SplitSentences(text) {
-		for _, clause := range sentiment.SplitAdversative(sent) {
-			if s.sentiment.Classify(clause) == sentiment.Positive {
+		e := s.fe.sentence(s, sent)
+		for ci := range e.clauses {
+			co := &e.clauses[ci]
+			switch {
+			case co.positive:
 				ra.PositiveSentences++
-				continue
-			}
-			if phrase.ClassifyIntent(clause).ShouldFilter() {
+			case co.filtered:
 				ra.FilteredSentences++
-				continue
+			default:
+				ra.Sentences = append(ra.Sentences, co.normalized)
+				for i, vp := range co.vps {
+					key := co.vpKeys[i]
+					if _, dup := seenVP[key]; dup {
+						continue
+					}
+					seenVP[key] = struct{}{}
+					ra.VerbPhrases = append(ra.VerbPhrases, vp)
+					ra.vpKeys = append(ra.vpKeys, key)
+				}
+				for i, np := range co.nps {
+					key := co.npKeys[i]
+					if _, dup := seenNP[key]; dup {
+						continue
+					}
+					seenNP[key] = struct{}{}
+					ra.NounPhrases = append(ra.NounPhrases, np)
+					ra.npKeys = append(ra.npKeys, key)
+				}
+				ra.Patterns = append(ra.Patterns, co.patterns...)
 			}
-			normalized := s.normalizer.NormalizeSentence(clause)
-			ra.Sentences = append(ra.Sentences, normalized)
 		}
 	}
-
-	seenVP := make(map[string]struct{})
-	seenNP := make(map[string]struct{})
-	for _, sent := range ra.Sentences {
-		p := s.extractor.Parse(sent)
-		ex := s.extractor.Extract(p)
-		for _, vp := range ex.VerbPhrases {
-			if _, dup := seenVP[vp.String()]; dup {
-				continue
-			}
-			seenVP[vp.String()] = struct{}{}
-			ra.VerbPhrases = append(ra.VerbPhrases, vp)
-		}
-		for _, np := range ex.NounPhrases {
-			key := np.String()
-			if _, dup := seenNP[key]; dup {
-				continue
-			}
-			seenNP[key] = struct{}{}
-			ra.NounPhrases = append(ra.NounPhrases, np)
-		}
-		ra.Patterns = append(ra.Patterns, phrase.MatchPatterns(p)...)
-	}
+	clear(seenVP)
+	clear(seenNP)
+	s.fe.scratch.Put(scratch)
 	return ra
 }
 

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"sync"
+
+	"reviewsolver/internal/pos"
+	"reviewsolver/internal/textproc"
+	"reviewsolver/internal/wordvec"
+)
+
+var (
+	internerOnce sync.Once
+	internerVal  *textproc.Interner
+)
+
+// defaultInterner returns the process-wide symbol table over the union of
+// the pipeline's closed vocabularies: spell-repair dictionary, stopwords,
+// abbreviations, POS lexicon, and the embedding lexicon. All of these are
+// compile-time constants, so one immutable table serves every solver; it is
+// built on first use and read-only afterwards.
+func defaultInterner() *textproc.Interner {
+	internerOnce.Do(func() {
+		internerVal = textproc.NewInterner(
+			textproc.InternVocab{Words: textproc.StopwordList(), Flags: textproc.SymStopword},
+			textproc.InternVocab{Words: textproc.DictionaryList(), Flags: textproc.SymDictionary},
+			textproc.InternVocab{Words: textproc.AbbreviationList(), Flags: textproc.SymAbbreviation},
+			textproc.InternVocab{Words: pos.LexiconWords(), Flags: textproc.SymPOSLexicon},
+			textproc.InternVocab{Words: wordvec.LexiconWords(), Flags: textproc.SymEmbedding},
+		)
+	})
+	return internerVal
+}

@@ -123,14 +123,11 @@ func (s *Solver) localizeAppSpecific(ra *ReviewAnalysis, info *StaticInfo, tr *o
 	useKernel := !s.legacyCosine && info.methodMatrix != nil
 	threshold := s.vec.Threshold()
 	simHist := s.simHist()
-	for _, vp := range ra.VerbPhrases {
-		words := vp.Words()
-		v := s.vec.PhraseVector(words)
-		phraseText := vp.String()
-		var q wordvec.Query
-		if useKernel {
-			q = wordvec.PrepareQuery(v)
-		}
+	for vi := range ra.VerbPhrases {
+		prep := s.fe.prep(s, ra.vpKey(vi), ra.VerbPhrases[vi])
+		v := prep.vec
+		phraseText := prep.text
+		q := &prep.q
 		res := parallelChunks(len(info.MethodPhrases), s.parallelism,
 			func(start, end int) scanChunk {
 				var ck scanChunk
@@ -158,7 +155,7 @@ func (s *Solver) localizeAppSpecific(ra *ReviewAnalysis, info *StaticInfo, tr *o
 					}
 				}
 				if useKernel {
-					ck.scan = info.methodMatrix.ScanThresholdCount(&q, threshold, start, end,
+					ck.scan = info.methodMatrix.ScanThresholdCount(q, threshold, start, end,
 						func(row int, dot float64) { emit(row, dot) })
 					return ck
 				}
@@ -222,7 +219,8 @@ func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo, tr *obs.Revie
 		}
 	}
 
-	for _, np := range ra.NounPhrases {
+	for ni := range ra.NounPhrases {
+		np := &ra.NounPhrases[ni]
 		// Case (1): explicit widget mention — the modifier words name the
 		// widget's purpose ("reply button" → search "reply").
 		if _, isWidget := widgetNouns[np.Head]; isWidget && len(np.Modifiers) > 0 {
@@ -231,9 +229,9 @@ func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo, tr *obs.Revie
 					continue
 				}
 				for _, activity := range gui.FindByVisibleWord(info.GUIs, mod) {
-					addActivity(np.String(), activity, "visible label contains "+mod)
+					addActivity(ra.npKey(ni), activity, "visible label contains "+mod)
 				}
-				out = append(out, s.matchInvisibleWord(np.String(), mod, info, tr)...)
+				out = append(out, s.matchInvisibleWord(ra.npKey(ni), mod, info, tr)...)
 			}
 		}
 		// Case (2): implicit issue mention ("certificate issues") — search
@@ -244,15 +242,16 @@ func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo, tr *obs.Revie
 					continue
 				}
 				for _, activity := range gui.FindByVisibleWord(info.GUIs, mod) {
-					addActivity(np.String(), activity, "visible label contains "+mod)
+					addActivity(ra.npKey(ni), activity, "visible label contains "+mod)
 				}
 			}
 		}
 	}
 
 	// Verb phrases against invisible widget-id phrases ("show password").
-	for _, vp := range ra.VerbPhrases {
-		out = append(out, s.matchInvisible(vp.String(), vp.Words(), info, tr)...)
+	for vi := range ra.VerbPhrases {
+		prep := s.fe.prep(s, ra.vpKey(vi), ra.VerbPhrases[vi])
+		out = append(out, s.matchInvisible(prep, info, tr)...)
 	}
 
 	// Vague-error patterns (Table 5): look the function words up in the
@@ -276,10 +275,12 @@ func (s *Solver) localizeGUI(ra *ReviewAnalysis, info *StaticInfo, tr *obs.Revie
 // widget-id matrix (rows in the same nested GUI×widget order the legacy
 // loop visits, so output order is identical); WithLegacyCosine restores the
 // per-struct cosine pass over the label vectors precomputed at extraction
-// time.
-func (s *Solver) matchInvisible(phraseText string, words []string, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
+// time. The content-word vector and its prescreen query come precomputed on
+// the cached phrase prep.
+func (s *Solver) matchInvisible(prep *phrasePrep, info *StaticInfo, tr *obs.ReviewTrace) []Mapping {
 	var out []Mapping
-	v := s.vec.PhraseVector(contentOnly(words))
+	phraseText := prep.text
+	v := prep.contentVec
 	simHist := s.simHist()
 	emit := func(gi, wi int, sim float64) {
 		g := &info.GUIs[gi]
@@ -301,8 +302,7 @@ func (s *Solver) matchInvisible(phraseText string, words []string, info *StaticI
 	}
 	var sc wordvec.ScanCount
 	if !s.legacyCosine && info.invisibleMatrix != nil {
-		q := wordvec.PrepareQuery(v)
-		sc = info.invisibleMatrix.ScanThresholdCount(&q, s.vec.Threshold(), 0, info.invisibleMatrix.Rows(),
+		sc = info.invisibleMatrix.ScanThresholdCount(&prep.contentQ, s.vec.Threshold(), 0, info.invisibleMatrix.Rows(),
 			func(row int, dot float64) {
 				ref := info.invisibleRows[row]
 				emit(int(ref.GUI), int(ref.Widget), dot)
@@ -446,8 +446,8 @@ func (s *Solver) localizeErrorMessage(ra *ReviewAnalysis, info *StaticInfo, tr *
 	// modifier → classes calling them. Descriptions are tokenized once at
 	// extraction time (the seed re-ran textproc.Words per (modifier, API)
 	// pair).
-	for _, np := range ra.NounPhrases {
-		mods := phrase.ErrorModifier(np)
+	for ni := range ra.NounPhrases {
+		mods := phrase.ErrorModifier(ra.NounPhrases[ni])
 		if len(mods) == 0 {
 			continue
 		}
@@ -467,7 +467,7 @@ func (s *Solver) localizeErrorMessage(ra *ReviewAnalysis, info *StaticInfo, tr *
 				for _, cls := range use.Classes {
 					evidence := "API description " + use.API.Signature()
 					out = append(out, Mapping{
-						Phrase:   np.String(),
+						Phrase:   ra.npKey(ni),
 						Class:    cls,
 						Context:  ctxinfo.ErrorMessage,
 						Evidence: evidence,
@@ -475,7 +475,7 @@ func (s *Solver) localizeErrorMessage(ra *ReviewAnalysis, info *StaticInfo, tr *
 					simHist.Observe(sim)
 					if tr != nil {
 						tr.AddMatch(obs.MatchTrace{
-							Phrase: np.String(), Class: cls,
+							Phrase: ra.npKey(ni), Class: cls,
 							Stage: stageErrorMessage, Source: "API description", Evidence: evidence,
 							Similarity: sim,
 						})
@@ -524,11 +524,12 @@ func (s *Solver) localizeOpeningApp(ra *ReviewAnalysis, info *StaticInfo, tr *ob
 	}
 	match := false
 	trigger := ""
-	for _, vp := range ra.VerbPhrases {
+	for vi := range ra.VerbPhrases {
+		vp := &ra.VerbPhrases[vi]
 		verb := vp.Verb
 		if (verb == "open" || verb == "launch" || verb == "start") && len(vp.Object) > 0 {
 			if _, ok := openAppObjects[vp.ObjectHead()]; ok {
-				match, trigger = true, vp.String()
+				match, trigger = true, ra.vpKey(vi)
 				break
 			}
 		}
@@ -711,20 +712,15 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo, tr *
 	useKernel := !s.legacyCosine
 	threshold := s.vec.Threshold()
 	simHist := s.simHist()
-	for _, vp := range ra.VerbPhrases {
-		words := vp.Words()
-		v := s.vec.PhraseVector(words)
-		phraseText := vp.String()
+	for vi := range ra.VerbPhrases {
+		vp := ra.VerbPhrases[vi]
+		prep := s.fe.prep(s, ra.vpKey(vi), vp)
+		v := prep.vec
+		phraseText := prep.text
 		_, isCollect := collectionVerbs[vp.Verb]
-		hasObject := len(vp.Object) > 0
-		var objVec wordvec.Vector
-		if hasObject {
-			objVec = s.vec.PhraseVector(vp.Object)
-		}
-		var q wordvec.Query
-		if useKernel {
-			q = wordvec.PrepareQuery(v)
-		}
+		hasObject := prep.hasObj
+		objVec := prep.objVec
+		q := &prep.q
 
 		// APIs (Algorithm 1 lines 3–10): the comparison runs over the whole
 		// documented catalog and a match is reported only when the app
@@ -739,7 +735,7 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo, tr *
 					source := "API"
 					if useKernel {
 						var esc wordvec.ScanCount
-						matched, esc = table.matrix.AnyAtLeastCount(&q, threshold,
+						matched, esc = table.matrix.AnyAtLeastCount(q, threshold,
 							int(table.rowStart[ei]), int(table.rowStart[ei+1]))
 						ck.scan.Merge(esc)
 						if matched {
@@ -820,7 +816,7 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo, tr *
 			for _, cls := range use.Classes {
 				evidence := "URI " + use.URI.URI
 				out = append(out, Mapping{
-					Phrase:   vp.String(),
+					Phrase:   phraseText,
 					Class:    cls,
 					Context:  ctxinfo.APIURIIntent,
 					Evidence: evidence,
@@ -828,7 +824,7 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo, tr *
 				simHist.Observe(sim)
 				if tr != nil {
 					tr.AddMatch(obs.MatchTrace{
-						Phrase: vp.String(), Class: cls,
+						Phrase: phraseText, Class: cls,
 						Stage: stageAPIURIIntent, Source: "URI", Evidence: evidence,
 						Similarity: sim,
 					})
@@ -857,7 +853,7 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo, tr *
 			for _, cls := range use.Classes {
 				evidence := "intent " + use.Action
 				out = append(out, Mapping{
-					Phrase:   vp.String(),
+					Phrase:   phraseText,
 					Class:    cls,
 					Context:  ctxinfo.APIURIIntent,
 					Evidence: evidence,
@@ -865,7 +861,7 @@ func (s *Solver) localizeAPIURIIntent(ra *ReviewAnalysis, info *StaticInfo, tr *
 				simHist.Observe(sim)
 				if tr != nil {
 					tr.AddMatch(obs.MatchTrace{
-						Phrase: vp.String(), Class: cls,
+						Phrase: phraseText, Class: cls,
 						Stage: stageAPIURIIntent, Source: "intent", Evidence: evidence,
 						Similarity: sim,
 					})
@@ -907,14 +903,15 @@ func (s *Solver) localizeGeneralTask(ra *ReviewAnalysis, info *StaticInfo, tr *o
 			}
 		}
 	}
-	for _, vp := range ra.VerbPhrases {
-		query(vp.String(), vp.Words())
+	for vi := range ra.VerbPhrases {
+		prep := s.fe.prep(s, ra.vpKey(vi), ra.VerbPhrases[vi])
+		query(prep.text, prep.words)
 	}
 	// Error-type noun phrases are also searched as-is ("404 error" is a
 	// Stack Overflow query in §2.3 Example 6).
-	for _, np := range ra.NounPhrases {
-		if mods := phrase.ErrorModifier(np); len(mods) > 0 {
-			query(np.String(), append(append([]string(nil), mods...), "error"))
+	for ni := range ra.NounPhrases {
+		if mods := phrase.ErrorModifier(ra.NounPhrases[ni]); len(mods) > 0 {
+			query(ra.npKey(ni), append(append([]string(nil), mods...), "error"))
 		}
 	}
 	return out
@@ -945,11 +942,12 @@ func (s *Solver) localizeException(ra *ReviewAnalysis, info *StaticInfo, tr *obs
 			})
 		}
 	}
-	for _, np := range ra.NounPhrases {
-		words := phrase.ExceptionType(np)
+	for ni := range ra.NounPhrases {
+		words := phrase.ExceptionType(ra.NounPhrases[ni])
 		if len(words) == 0 {
 			continue
 		}
+		npText := ra.npKey(ni)
 		// Framework APIs documented to throw a matching exception type.
 		for _, use := range info.APIs {
 			for _, ex := range use.API.Exceptions {
@@ -957,7 +955,7 @@ func (s *Solver) localizeException(ra *ReviewAnalysis, info *StaticInfo, tr *obs
 					continue
 				}
 				for _, cls := range use.Classes {
-					add(np.String(), cls, "", "API exception",
+					add(npText, cls, "", "API exception",
 						"API "+use.API.Signature()+" throws "+ex)
 				}
 			}
@@ -971,11 +969,11 @@ func (s *Solver) localizeException(ra *ReviewAnalysis, info *StaticInfo, tr *obs
 			if !exceptionMatches(site.Exception, words) {
 				continue
 			}
-			add(np.String(), site.Site.Class(), site.Site.Method.Name,
+			add(npText, site.Site.Class(), site.Site.Method.Name,
 				"exception handler", "handles "+site.Exception)
 			for _, caller := range info.Graph.Callers(site.Site.Method.QualifiedName()) {
 				cls, method := splitQualified(caller)
-				add(np.String(), cls, method, "exception handler caller",
+				add(npText, cls, method, "exception handler caller",
 					"calls "+site.Site.Method.Name+" which handles "+site.Exception)
 			}
 		}

@@ -47,6 +47,14 @@ const (
 	metricPoolJobs       = "pool_jobs_total"
 	metricPoolQueueDepth = "pool_queue_depth"
 	metricPoolBusy       = "pool_workers_busy"
+
+	metricAnalysisCacheHits   = "analysis_cache_hits_total"
+	metricAnalysisCacheMisses = "analysis_cache_misses_total"
+	metricPhraseCacheHits     = "phrase_cache_hits_total"
+	metricPhraseCacheMisses   = "phrase_cache_misses_total"
+	metricInternerSize        = "interner_size"
+	metricAnalysisCacheSize   = "analysis_cache_size"
+	metricSpellMemoSize       = "spell_memo_size"
 )
 
 // ReviewLatencyMetric is the histogram holding per-review end-to-end

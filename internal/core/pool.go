@@ -127,5 +127,84 @@ func (p *Pool) localize(app *apk.App, reviews []ReviewInput, traced bool) ([]*Re
 	}
 	close(jobs)
 	wg.Wait()
+	p.solver.publishFrontendGauges()
 	return results, traces
+}
+
+// CorpusResult pairs a localization result with the input-order index of its
+// review.
+type CorpusResult struct {
+	Index  int
+	Result *Result
+}
+
+// LocalizeCorpus streams a review corpus through the pool: reviews are read
+// from the input channel as workers free up, and results are emitted on the
+// returned channel in input order. Memory stays bounded by the worker count
+// — at most ~2× workers results are in flight (completed-but-unemitted
+// results wait in the reorder buffer, which backpressures the workers via
+// the bounded dones channel) — so corpora far larger than RAM can stream
+// through. The returned channel is closed after the last result.
+func (p *Pool) LocalizeCorpus(app *apk.App, reviews <-chan ReviewInput) <-chan CorpusResult {
+	out := make(chan CorpusResult, p.workers)
+	rec := p.solver.rec
+	queued := rec.Gauge(metricPoolQueueDepth)
+	busy := rec.Gauge(metricPoolBusy)
+
+	type job struct {
+		index  int
+		review ReviewInput
+	}
+	jobs := make(chan job)
+	dones := make(chan CorpusResult, p.workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				queued.Add(-1)
+				busy.Add(1)
+				res := p.solver.LocalizeReview(app, j.review.Text, j.review.PublishedAt)
+				busy.Add(-1)
+				dones <- CorpusResult{Index: j.index, Result: res}
+			}
+		}()
+	}
+
+	// Feeder: assign input-order indices as reviews arrive.
+	go func() {
+		i := 0
+		for r := range reviews {
+			rec.Counter(metricPoolJobs).Add(1)
+			queued.Add(1)
+			jobs <- job{index: i, review: r}
+			i++
+		}
+		close(jobs)
+		wg.Wait()
+		close(dones)
+	}()
+
+	// Reorderer: emit completed results in input order.
+	go func() {
+		pending := make(map[int]CorpusResult, 2*p.workers)
+		next := 0
+		for cr := range dones {
+			pending[cr.Index] = cr
+			for {
+				ready, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				out <- ready
+				next++
+			}
+		}
+		p.solver.publishFrontendGauges()
+		close(out)
+	}()
+	return out
 }

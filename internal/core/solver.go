@@ -65,6 +65,13 @@ type Solver struct {
 	// every documented API, not only the ones the app calls). Unused when
 	// snap is set.
 	catalogVecCache *catalogTable
+
+	// fe is the NLP front-end engine: interner, sentence-analysis cache,
+	// phrase-prep cache, and pooled scratch. Shared by pointer across every
+	// solver copied from the same template (snapshot sharers, pool workers),
+	// so the caches warm corpus-wide. Options that change the cached
+	// pipeline's inputs (sentiment analyzer, word model) install a fresh one.
+	fe *frontend
 }
 
 // catalogAPI pairs a framework API with its precomputed phrase embeddings
@@ -160,6 +167,7 @@ func WithWordModel(m *wordvec.Model) Option {
 	return func(s *Solver) {
 		s.vec = m
 		s.catalogVecCache = nil
+		s.fe = newFrontend() // cached phrase vectors depend on the model
 		if s.snap != nil {
 			s.snap = nil
 			s.staticCache = make(map[*apk.Release]*StaticInfo)
@@ -201,7 +209,10 @@ func WithQAIndex(idx *qa.Index) Option {
 // WithSentimentAnalyzer overrides the sentence sentiment analyzer
 // (SentiStrength by default, per Table 4).
 func WithSentimentAnalyzer(a sentiment.Analyzer) Option {
-	return func(s *Solver) { s.sentiment = a }
+	return func(s *Solver) {
+		s.sentiment = a
+		s.fe = newFrontend() // cached clause outcomes depend on the analyzer
+	}
 }
 
 // New constructs a Solver. The default configuration has no classifier
@@ -223,6 +234,13 @@ func New(opts ...Option) *Solver {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.fe == nil {
+		s.fe = newFrontend()
+	}
+	// Annotate parsed tokens with dense vocabulary IDs so tagging and
+	// stopword tests index flat arrays instead of re-hashing words.
+	s.extractor.UseInterner(s.fe.in)
+	s.tagger.UseInterner(s.fe.in)
 	return s
 }
 

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"reviewsolver/internal/pos"
+	"reviewsolver/internal/textproc"
 )
 
 // Label names a parse-tree node.
@@ -66,9 +67,17 @@ func (n *Node) Leaves() []*Node {
 	if n.IsLeaf() {
 		return []*Node{n}
 	}
-	var out []*Node
+	return n.appendLeaves(make([]*Node, 0, 8))
+}
+
+// appendLeaves accumulates leaves into one caller-owned slice so the
+// recursion does not allocate an intermediate slice per internal node.
+func (n *Node) appendLeaves(out []*Node) []*Node {
+	if n.IsLeaf() {
+		return append(out, n)
+	}
 	for _, c := range n.Children {
-		out = append(out, c.Leaves()...)
+		out = c.appendLeaves(out)
 	}
 	return out
 }
@@ -184,6 +193,10 @@ func New(properNouns ...string) *Parser {
 	return &Parser{tagger: pos.NewTagger(properNouns...)}
 }
 
+// UseInterner forwards an interner to the tagger so parsed tokens carry
+// dense vocabulary IDs.
+func (p *Parser) UseInterner(in *textproc.Interner) { p.tagger.UseInterner(in) }
+
 // ParseSentence tags and parses a sentence.
 func (p *Parser) ParseSentence(sentence string) *Parse {
 	tokens := p.tagger.TagSentence(sentence)
@@ -198,25 +211,42 @@ func (p *Parser) ParseTagged(tokens []pos.TaggedToken) *Parse {
 }
 
 // chunk groups the tagged tokens into NP/VP/PP/ADVP chunks under an S root.
+//
+// Every node of one parse is bump-allocated from a single slab: a parse has
+// at most len(tokens) leaves plus fewer than len(tokens) internal chunks and
+// the root, so the cap guard never triggers in practice and the per-node heap
+// allocations collapse into one backing-array allocation. The slab is only
+// ever appended to while under capacity, so node pointers stay stable.
 func chunk(tokens []pos.TaggedToken) *Node {
-	root := &Node{Label: LabelS, TokenIndex: -1}
+	arena := make([]Node, 0, 2*len(tokens)+4)
+	alloc := func(label Label) *Node {
+		if len(arena) < cap(arena) {
+			arena = append(arena, Node{Label: label, TokenIndex: -1})
+			return &arena[len(arena)-1]
+		}
+		return &Node{Label: label, TokenIndex: -1}
+	}
+	root := alloc(LabelS)
 	i := 0
 	n := len(tokens)
 	leaf := func(idx int) *Node {
-		return &Node{Label: Label(tokens[idx].Tag), Token: &tokens[idx], TokenIndex: idx}
+		nd := alloc(Label(tokens[idx].Tag))
+		nd.Token = &tokens[idx]
+		nd.TokenIndex = idx
+		return nd
 	}
 	for i < n {
 		tag := tokens[i].Tag
 		switch {
 		case isNPStart(tokens, i):
-			node := &Node{Label: LabelNP, TokenIndex: -1}
+			node := alloc(LabelNP)
 			for i < n && inNP(tokens, i, node) {
 				node.Children = append(node.Children, leaf(i))
 				i++
 			}
 			root.Children = append(root.Children, node)
 		case tag.IsVerb() || tag == pos.MD || tag == pos.NEG:
-			node := &Node{Label: LabelVP, TokenIndex: -1}
+			node := alloc(LabelVP)
 			// Aux/modal/negation run followed by verbs and interleaved
 			// adverbs/negations, plus trailing particles ("turn off").
 			for i < n {
@@ -231,12 +261,12 @@ func chunk(tokens []pos.TaggedToken) *Node {
 			}
 			root.Children = append(root.Children, node)
 		case tag == pos.IN || tag == pos.TO:
-			node := &Node{Label: LabelPP, TokenIndex: -1}
+			node := alloc(LabelPP)
 			node.Children = append(node.Children, leaf(i))
 			i++
 			// Attach the following NP inside the PP.
 			if i < n && isNPStart(tokens, i) {
-				np := &Node{Label: LabelNP, TokenIndex: -1}
+				np := alloc(LabelNP)
 				for i < n && inNP(tokens, i, np) {
 					np.Children = append(np.Children, leaf(i))
 					i++
@@ -245,19 +275,21 @@ func chunk(tokens []pos.TaggedToken) *Node {
 			}
 			root.Children = append(root.Children, node)
 		case tag == pos.RB:
-			node := &Node{Label: LabelADVP, TokenIndex: -1}
+			node := alloc(LabelADVP)
 			for i < n && tokens[i].Tag == pos.RB {
 				node.Children = append(node.Children, leaf(i))
 				i++
 			}
 			root.Children = append(root.Children, node)
 		case tag == pos.CC:
-			root.Children = append(root.Children, &Node{Label: LabelCC, TokenIndex: -1,
-				Children: []*Node{leaf(i)}})
+			node := alloc(LabelCC)
+			node.Children = []*Node{leaf(i)}
+			root.Children = append(root.Children, node)
 			i++
 		default:
-			root.Children = append(root.Children, &Node{Label: LabelO, TokenIndex: -1,
-				Children: []*Node{leaf(i)}})
+			node := alloc(LabelO)
+			node.Children = []*Node{leaf(i)}
+			root.Children = append(root.Children, node)
 			i++
 		}
 	}

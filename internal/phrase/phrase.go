@@ -90,6 +90,10 @@ func NewExtractor(properNouns ...string) *Extractor {
 	return &Extractor{parser: parser.New(properNouns...)}
 }
 
+// UseInterner forwards an interner down to the tagger so extraction runs on
+// ID-annotated tokens.
+func (e *Extractor) UseInterner(in *textproc.Interner) { e.parser.UseInterner(in) }
+
 // ExtractSentence parses a sentence and extracts its phrases.
 func (e *Extractor) ExtractSentence(sentence string) Extraction {
 	return e.Extract(e.parser.ParseSentence(sentence))

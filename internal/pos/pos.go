@@ -12,6 +12,7 @@
 package pos
 
 import (
+	"sort"
 	"strings"
 
 	"reviewsolver/internal/textproc"
@@ -77,6 +78,13 @@ type TaggedToken struct {
 // Tagger assigns POS tags to token sequences.
 type Tagger struct {
 	lexicon map[string]Tag
+
+	// in, when set via UseInterner, annotates tokens once and the tag /
+	// verb-lemma lookups below index these dense arrays instead of hashing
+	// the word again per rule.
+	in       *textproc.Interner
+	tagByID  []Tag
+	verbByID []bool
 }
 
 // NewTagger returns a Tagger over the built-in review-English lexicon,
@@ -92,6 +100,27 @@ func NewTagger(properNouns ...string) *Tagger {
 	return t
 }
 
+// UseInterner wires an interner into the tagger: Tag annotates tokens once
+// up front, and the per-token lexicon and verb-lemma lookups become dense
+// array indexes instead of map probes. Words outside the interner (e.g.
+// app-specific proper nouns absent from every base vocabulary) keep the map
+// path, so tagging output is identical either way.
+func (tg *Tagger) UseInterner(in *textproc.Interner) {
+	tg.in = in
+	tg.tagByID = make([]Tag, in.Size())
+	for w, tag := range tg.lexicon {
+		if id, ok := in.ID(w); ok {
+			tg.tagByID[id] = tag
+		}
+	}
+	tg.verbByID = make([]bool, in.Size())
+	for w := range verbLemmas {
+		if id, ok := in.ID(w); ok {
+			tg.verbByID[id] = true
+		}
+	}
+}
+
 // TagSentence tokenizes and tags a sentence.
 func (tg *Tagger) TagSentence(sentence string) []TaggedToken {
 	return tg.Tag(textproc.Tokenize(sentence))
@@ -99,6 +128,9 @@ func (tg *Tagger) TagSentence(sentence string) []TaggedToken {
 
 // Tag assigns a POS tag to every token, then applies contextual repairs.
 func (tg *Tagger) Tag(tokens []textproc.Token) []TaggedToken {
+	if tg.in != nil {
+		tg.in.Annotate(tokens)
+	}
 	out := make([]TaggedToken, len(tokens))
 	for i, tok := range tokens {
 		out[i] = TaggedToken{Token: tok, Tag: tg.initialTag(tok)}
@@ -121,6 +153,11 @@ func (tg *Tagger) initialTag(tok textproc.Token) Tag {
 	// token as a negation of the following verb.
 	if strings.HasSuffix(w, "n't") {
 		return NEG
+	}
+	if tg.tagByID != nil && tok.ID != 0 {
+		if tag := tg.tagByID[tok.ID-1]; tag != "" {
+			return tag
+		}
 	}
 	if tag, ok := tg.lexicon[w]; ok {
 		return tag
@@ -177,13 +214,13 @@ func (tg *Tagger) applyContextRules(toks []TaggedToken) {
 			}
 		// PRP + ambiguous noun → present verb ("i crash", "it errors").
 		case prev == PRP && toks[i].Tag == NN:
-			if _, verbish := verbLemmas[w]; verbish {
+			if tg.verbish(toks[i].Token) {
 				toks[i].Tag = VBP
 			}
 		// Sentence-initial ambiguous word followed by a noun phrase → imperative
 		// verb ("fix the bug", "update app").
 		case i == 0 && toks[i].Tag == NN && (next == DT || next == PRPS || next == NN || next == NNS):
-			if _, verbish := verbLemmas[w]; verbish {
+			if tg.verbish(toks[i].Token) {
 				toks[i].Tag = VB
 			}
 		// A verb-lexicon word right before a UI-widget noun is being used
@@ -248,9 +285,37 @@ func nextTag(toks []TaggedToken, i int) Tag {
 	return toks[i+1].Tag
 }
 
+// verbish reports whether a token's word is a verb lemma, using the dense
+// array when the token carries an interner ID.
+func (tg *Tagger) verbish(tok textproc.Token) bool {
+	if tg.verbByID != nil && tok.ID != 0 {
+		return tg.verbByID[tok.ID-1]
+	}
+	_, ok := verbLemmas[tok.Lower]
+	return ok
+}
+
 // LooksLikeVerb reports whether a lower-cased word is in the tagger's verb
 // lemma set. Phrase extraction uses this to validate method-name verbs.
 func LooksLikeVerb(word string) bool {
 	_, ok := verbLemmas[word]
 	return ok
+}
+
+// LexiconWords returns the base lexicon vocabulary (without caller-supplied
+// proper nouns) in sorted order, for interner construction.
+func LexiconWords() []string {
+	out := make([]string, 0, len(lexiconEntries)+len(verbLemmas))
+	seen := make(map[string]struct{}, len(lexiconEntries)+len(verbLemmas))
+	for w := range lexiconEntries {
+		seen[w] = struct{}{}
+		out = append(out, w)
+	}
+	for w := range verbLemmas {
+		if _, ok := seen[w]; !ok {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
 }

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"reviewsolver/internal/parser"
 	"reviewsolver/internal/phrase"
@@ -62,7 +63,13 @@ func NewVectorizer(opts ...VectorizerOption) *Vectorizer {
 // 'bug' and 'not' are related to verb 'contain', we regard 'bug' as being
 // related to 'not', and thus remove the word 'bug' related features").
 func (v *Vectorizer) tokensOf(text string) []string {
-	var words []string
+	return v.tokensOfInto(nil, nil, text)
+}
+
+// tokensOfInto is tokensOf appending into caller-owned scratch: a reusable
+// word slice and negation drop set (Transform pools both so classification
+// does not reallocate them per review).
+func (v *Vectorizer) tokensOfInto(words []string, drop map[int]bool, text string) []string {
 	for _, sentence := range textproc.SplitSentences(text) {
 		if !v.negAware {
 			words = append(words, textproc.Words(sentence)...)
@@ -72,7 +79,11 @@ func (v *Vectorizer) tokensOf(text string) []string {
 		// The whole negated error mention is dropped — the error word AND
 		// the negation tied to it — so that neither "bug" nor the "no"/"not"
 		// that cancels it feeds the classifier.
-		drop := make(map[int]bool)
+		if drop == nil {
+			drop = make(map[int]bool)
+		} else {
+			clear(drop)
+		}
 		for _, nd := range p.DepsWithRel(parser.RelNeg) {
 			// Error words that are objects (or passive subjects) of a
 			// negated verb do not signal a real error.
@@ -211,25 +222,82 @@ func (v *Vectorizer) TopFeatureNames(bt *BoostedTrees, k int) []string {
 	return out
 }
 
+// transformScratch recycles the per-call working state of Transform: the
+// token slice, the negation drop set, the n-gram key buffer, and the counts
+// map. One Vectorizer is shared across pool workers, so the scratch lives in
+// a pool rather than on the struct.
+type transformScratch struct {
+	words  []string
+	drop   map[int]bool
+	key    []byte
+	counts map[int]int
+}
+
+var transformScratchPool = sync.Pool{
+	New: func() any {
+		return &transformScratch{
+			drop:   make(map[int]bool, 8),
+			words:  make([]string, 0, 64),
+			key:    make([]byte, 0, 64),
+			counts: make(map[int]int, 64),
+		}
+	},
+}
+
+func (sc *transformScratch) release() {
+	clear(sc.drop)
+	clear(sc.counts)
+	sc.words = sc.words[:0]
+	sc.key = sc.key[:0]
+	transformScratchPool.Put(sc)
+}
+
 // Transform converts a review text into its sparse feature vector:
-// TF×IDF for unigrams, binary×IDF presence for n-grams.
+// TF×IDF for unigrams, binary×IDF presence for n-grams. N-gram vocabulary
+// lookups build their keys in a reused byte buffer and index the map with a
+// direct string conversion, which the compiler compiles to an allocation-free
+// probe — feature counting allocates only the returned vector.
 func (v *Vectorizer) Transform(text string) FeatureVector {
-	words := v.tokensOf(text)
+	sc := transformScratchPool.Get().(*transformScratch)
+	words := v.tokensOfInto(sc.words[:0], sc.drop, text)
+	sc.words = words
 	if len(words) == 0 {
+		sc.release()
 		return FeatureVector{}
 	}
-	counts := make(map[int]int)
-	for _, f := range featuresOf(words) {
-		if idx, ok := v.vocab[f]; ok {
+	counts := sc.counts
+	for _, w := range words {
+		if idx, ok := v.vocab[w]; ok {
 			counts[idx]++
 		}
 	}
+	key := sc.key
+	for i := 0; i+1 < len(words); i++ {
+		key = append(key[:0], words[i]...)
+		key = append(key, ' ')
+		key = append(key, words[i+1]...)
+		if idx, ok := v.vocab[string(key)]; ok {
+			counts[idx]++
+		}
+	}
+	for i := 0; i+2 < len(words); i++ {
+		key = append(key[:0], words[i]...)
+		key = append(key, ' ')
+		key = append(key, words[i+1]...)
+		key = append(key, ' ')
+		key = append(key, words[i+2]...)
+		if idx, ok := v.vocab[string(key)]; ok {
+			counts[idx]++
+		}
+	}
+	sc.key = key
 	vec := make(FeatureVector, len(counts))
 	total := float64(len(words))
 	for idx, c := range counts {
 		tf := float64(c) / total
 		vec[idx] = tf * v.idf[idx]
 	}
+	sc.release()
 	return vec
 }
 

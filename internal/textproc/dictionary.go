@@ -1,5 +1,7 @@
 package textproc
 
+import "sort"
+
 // reviewDictionary is the built-in vocabulary of app-review English: the
 // words that occur in mobile-app reviews about function errors, plus general
 // high-frequency English. It doubles as the spell-repair target dictionary
@@ -222,4 +224,47 @@ var Stopwords = map[string]struct{}{
 func IsStopword(word string) bool {
 	_, ok := Stopwords[word]
 	return ok
+}
+
+// DictionaryList returns the built-in review-English dictionary in sorted
+// order, for interner construction.
+func DictionaryList() []string {
+	out := append([]string(nil), reviewDictionary...)
+	sort.Strings(out)
+	// The raw word list carries a few duplicates; return each word once.
+	dedup := out[:0]
+	for i, w := range out {
+		if i == 0 || w != out[i-1] {
+			dedup = append(dedup, w)
+		}
+	}
+	return dedup
+}
+
+// StopwordList returns the stopword set in sorted order, for interner
+// construction.
+func StopwordList() []string {
+	out := make([]string, 0, len(Stopwords))
+	for w := range Stopwords {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AbbreviationList returns the abbreviations and their expansions (both
+// sides, deduplicated) in sorted order, for interner construction.
+func AbbreviationList() []string {
+	seen := make(map[string]struct{}, 2*len(reviewAbbreviations))
+	out := make([]string, 0, 2*len(reviewAbbreviations))
+	for abbr, exp := range reviewAbbreviations {
+		for _, w := range [2]string{abbr, exp} {
+			if _, dup := seen[w]; !dup {
+				seen[w] = struct{}{}
+				out = append(out, w)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }

@@ -1,0 +1,122 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+)
+
+func testInterner() *Interner {
+	return NewInterner(
+		InternVocab{Words: []string{"the", "a", "not"}, Flags: SymStopword},
+		InternVocab{Words: []string{"send", "message", "the"}, Flags: SymDictionary},
+	)
+}
+
+func TestInternerIDsAndFlags(t *testing.T) {
+	in := testInterner()
+	if got := in.Size(); got != 5 {
+		t.Fatalf("Size() = %d, want 5 (union of vocabularies)", got)
+	}
+	// Dense first-seen IDs.
+	for i, w := range []string{"the", "a", "not", "send", "message"} {
+		id, ok := in.ID(w)
+		if !ok || id != uint32(i) {
+			t.Errorf("ID(%q) = %d,%v, want %d,true", w, id, ok, i)
+		}
+		if in.Word(id) != w {
+			t.Errorf("Word(%d) = %q, want %q", id, in.Word(id), w)
+		}
+	}
+	if _, ok := in.ID("unknown"); ok {
+		t.Error("ID of uninterned word reported ok")
+	}
+	// Duplicate words OR their flags.
+	id, _ := in.ID("the")
+	if f := in.Flags(id); f != SymStopword|SymDictionary {
+		t.Errorf("Flags(the) = %b, want stopword|dictionary", f)
+	}
+	id, _ = in.ID("send")
+	if f := in.Flags(id); f != SymDictionary {
+		t.Errorf("Flags(send) = %b, want dictionary only", f)
+	}
+}
+
+func TestInternerAnnotate(t *testing.T) {
+	in := testInterner()
+	toks := Tokenize("send the zorp!")
+	in.Annotate(toks)
+	wantIDs := make(map[string]uint32)
+	for _, w := range []string{"send", "the"} {
+		id, _ := in.ID(w)
+		wantIDs[w] = id + 1
+	}
+	for _, tok := range toks {
+		switch tok.Lower {
+		case "send", "the":
+			if tok.ID != wantIDs[tok.Lower] {
+				t.Errorf("token %q ID = %d, want %d", tok.Lower, tok.ID, wantIDs[tok.Lower])
+			}
+		case "zorp":
+			if tok.ID != 0 {
+				t.Errorf("unknown word got ID %d, want 0", tok.ID)
+			}
+		case "!":
+			if tok.ID != 0 {
+				t.Errorf("punct token got ID %d, want 0", tok.ID)
+			}
+		}
+	}
+}
+
+func TestInternerIsStop(t *testing.T) {
+	in := testInterner()
+	toks := Tokenize("the message")
+	in.Annotate(toks)
+	if !in.IsStop(toks[0]) {
+		t.Error("annotated stopword not reported as stop")
+	}
+	if in.IsStop(toks[1]) {
+		t.Error("annotated non-stopword reported as stop")
+	}
+	// Unannotated tokens fall back to the global stopword table.
+	plain := Tokenize("the")
+	if !in.IsStop(plain[0]) {
+		t.Error("unannotated stopword fallback failed")
+	}
+}
+
+func TestInternerAppendIDs(t *testing.T) {
+	in := testInterner()
+	key, ok := in.AppendIDs(nil, []string{"send", "message"})
+	if !ok {
+		t.Fatal("AppendIDs over interned words reported unknown")
+	}
+	if len(key) != 8 {
+		t.Fatalf("key length = %d, want 8 (two 4-byte IDs)", len(key))
+	}
+	key2, ok := in.AppendIDs(nil, []string{"message", "send"})
+	if !ok || string(key) == string(key2) {
+		t.Error("order-swapped phrases must produce distinct keys")
+	}
+	if _, ok := in.AppendIDs(nil, []string{"send", "zorp"}); ok {
+		t.Error("AppendIDs with an uninterned word reported ok")
+	}
+}
+
+func TestDefaultVocabAccessors(t *testing.T) {
+	for name, words := range map[string][]string{
+		"DictionaryList":   DictionaryList(),
+		"StopwordList":     StopwordList(),
+		"AbbreviationList": AbbreviationList(),
+	} {
+		if len(words) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+		for i := 1; i < len(words); i++ {
+			if strings.Compare(words[i-1], words[i]) >= 0 {
+				t.Errorf("%s not strictly sorted at %d: %q >= %q", name, i, words[i-1], words[i])
+				break
+			}
+		}
+	}
+}

@@ -19,8 +19,13 @@ type Normalizer struct {
 	// Review vocabulary is heavily repeated, and a repair scan walks every
 	// dictionary word of a near length, so repaired (and rejected) words are
 	// memoized. Guarded because one Normalizer is shared across pool workers.
+	// The memo is bounded by generation rotation: when the current map
+	// reaches memoCap/2 entries it becomes the previous generation and a
+	// fresh map takes over, so total residency never exceeds memoCap while
+	// hot words survive rotation via promotion on lookup.
 	mu   sync.RWMutex
 	memo map[string]string
+	prev map[string]string
 }
 
 // memoCap bounds the repair cache so adversarial input can't grow it without
@@ -101,17 +106,41 @@ func (n *Normalizer) NormalizeWord(word string) string {
 	}
 	n.mu.RLock()
 	repaired, ok := n.memo[w]
+	if ok {
+		n.mu.RUnlock()
+		return repaired
+	}
+	repaired, ok = n.prev[w]
 	n.mu.RUnlock()
 	if ok {
+		n.memoPut(w, repaired) // promote so hot words survive rotation
 		return repaired
 	}
 	repaired = n.repair(w)
+	n.memoPut(w, repaired)
+	return repaired
+}
+
+// memoPut inserts (or promotes) a repair into the current memo generation,
+// rotating generations when the current one fills.
+func (n *Normalizer) memoPut(w, repaired string) {
 	n.mu.Lock()
-	if len(n.memo) < memoCap {
+	if _, ok := n.memo[w]; !ok {
+		if len(n.memo) >= memoCap/2 {
+			n.prev = n.memo
+			n.memo = make(map[string]string, memoCap/2)
+		}
 		n.memo[w] = repaired
 	}
 	n.mu.Unlock()
-	return repaired
+}
+
+// MemoSize returns the number of memoized repairs currently resident across
+// both generations; exported so serving can gauge the cache.
+func (n *Normalizer) MemoSize() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.memo) + len(n.prev)
 }
 
 // repair finds the closest dictionary word within maxDist, or returns w
@@ -137,17 +166,46 @@ func (n *Normalizer) repair(w string) string {
 
 // NormalizeSentence applies NormalizeWord to every word of a sentence and
 // reassembles it with single spaces. Punctuation is preserved as separate
-// tokens so downstream parsing still sees clause boundaries.
+// tokens so downstream parsing still sees clause boundaries. When no word
+// changes and the sentence already joins its tokens with single spaces, the
+// input string is returned as-is without copying — the common case once a
+// corpus has been normalized upstream.
 func (n *Normalizer) NormalizeSentence(sentence string) string {
-	toks := Tokenize(sentence)
+	sp := tokenScratch.Get().(*[]Token)
+	toks := TokenizeInto((*sp)[:0], sentence)
+	defer func() {
+		*sp = toks[:0]
+		tokenScratch.Put(sp)
+	}()
+	// canonical tracks whether every emitted part equals the original token
+	// text at canonical single-space positions, proving output == input.
+	canonical := true
+	end := 0
 	parts := make([]string, 0, len(toks))
-	for _, t := range toks {
+	for i, t := range toks {
+		var part string
 		switch t.Kind {
 		case Word:
-			parts = append(parts, n.NormalizeWord(t.Lower))
+			part = n.NormalizeWord(t.Lower)
 		default:
-			parts = append(parts, t.Text)
+			part = t.Text
 		}
+		parts = append(parts, part)
+		if canonical {
+			wantStart := 0
+			if i > 0 {
+				wantStart = end + 1
+			}
+			orig := sentence[t.Start : t.Start+len(t.Text)]
+			if t.Start != wantStart || part != orig {
+				canonical = false
+			} else {
+				end = t.Start + len(t.Text)
+			}
+		}
+	}
+	if canonical && end == len(sentence) {
+		return sentence
 	}
 	return strings.Join(parts, " ")
 }

@@ -1,6 +1,7 @@
 package textproc
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -138,5 +139,63 @@ func TestIsStopword(t *testing.T) {
 		if IsStopword(w) {
 			t.Errorf("%q should not be a stopword", w)
 		}
+	}
+}
+
+func TestNormalizeSentenceFastPath(t *testing.T) {
+	n := NewNormalizer()
+	// Canonical input (all known words, single spaces) returns the identical
+	// string value without re-joining.
+	canonical := "cannot send the message"
+	if got := n.NormalizeSentence(canonical); got != canonical {
+		t.Fatalf("fast path changed canonical input: %q", got)
+	}
+	// Slow paths: repairs, extra spacing, and punctuation spacing still
+	// normalize as before.
+	for _, tt := range []struct{ in, want string }{
+		{"cannot  send", "cannot send"}, // double space re-joins
+		{"Cannot Send", "cannot send"},  // case folds
+		{"canot send", "cant send"},     // typo repair (closest dictionary word)
+		{"send it!", "send it !"},       // punct becomes its own token
+	} {
+		if got := n.NormalizeSentence(tt.in); got != tt.want {
+			t.Errorf("NormalizeSentence(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNormalizeMemoBounded(t *testing.T) {
+	n := NewNormalizer()
+	if n.MemoSize() != 0 {
+		t.Fatalf("fresh normalizer MemoSize = %d, want 0", n.MemoSize())
+	}
+	n.NormalizeWord("canot")
+	if n.MemoSize() != 1 {
+		t.Errorf("after one repair MemoSize = %d, want 1", n.MemoSize())
+	}
+	// Memoized repair is stable.
+	if a, b := n.NormalizeWord("canot"), n.NormalizeWord("canot"); a != b {
+		t.Errorf("memoized repair unstable: %q vs %q", a, b)
+	}
+	// Exercise generation rotation directly and confirm residency never
+	// exceeds the cap while promoted entries survive.
+	for i := 0; i < memoCap; i++ {
+		n.memoPut(fmt.Sprintf("wxyzq%05d", i), "w")
+	}
+	if size := n.MemoSize(); size > memoCap {
+		t.Errorf("MemoSize = %d exceeds cap %d", size, memoCap)
+	}
+	// A prev-generation hit promotes into the current generation.
+	n.memoPut("hotword", "hot")
+	n.prev = n.memo
+	n.memo = make(map[string]string)
+	if got := n.NormalizeWord("hotword"); got != "hot" {
+		t.Errorf("prev-generation lookup = %q, want %q", got, "hot")
+	}
+	n.mu.RLock()
+	_, promoted := n.memo["hotword"]
+	n.mu.RUnlock()
+	if !promoted {
+		t.Error("prev-generation hit was not promoted to the current generation")
 	}
 }

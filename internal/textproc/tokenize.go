@@ -10,6 +10,7 @@ package textproc
 
 import (
 	"strings"
+	"sync"
 	"unicode"
 )
 
@@ -25,6 +26,9 @@ type Token struct {
 	Start int
 	// Kind classifies the token.
 	Kind TokenKind
+	// ID is the token's interner handle when an Interner annotated it:
+	// dense ID + 1, with 0 meaning unknown or not annotated.
+	ID uint32
 }
 
 // TokenKind classifies tokens by their lexical shape.
@@ -47,8 +51,13 @@ func (t Token) IsWord() bool { return t.Kind == Word }
 // StripNonASCII removes every byte outside the printable ASCII range,
 // replacing runs of removed characters with a single space so that words
 // separated only by emoji do not fuse together. The paper removes non-ASCII
-// characters before any other processing (§3.2.1).
+// characters before any other processing (§3.2.1). Input that is already
+// clean — printable ASCII, single interior spaces, no leading/trailing
+// space — is returned as-is without copying.
 func StripNonASCII(s string) string {
+	if asciiClean(s) {
+		return s
+	}
 	var b strings.Builder
 	b.Grow(len(s))
 	lastWasSpace := false
@@ -77,12 +86,36 @@ func StripNonASCII(s string) string {
 	return strings.TrimSpace(b.String())
 }
 
+// asciiClean reports whether StripNonASCII would return s unchanged: every
+// byte printable ASCII, spaces single and interior only.
+func asciiClean(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' {
+			if i == 0 || i == len(s)-1 || s[i-1] == ' ' {
+				return false
+			}
+			continue
+		}
+		if c <= 0x20 || c >= 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
 // Tokenize splits a sentence into tokens. Contractions keep their apostrophe
 // ("doesn't" stays one token) because the POS tagger and negation detector
 // handle them as units. Quoted error messages keep their quotes as separate
 // Punct tokens so the error-message localizer can recover the quoted span.
 func Tokenize(sentence string) []Token {
-	toks := make([]Token, 0, len(sentence)/4+4)
+	return TokenizeInto(make([]Token, 0, len(sentence)/4+4), sentence)
+}
+
+// TokenizeInto is Tokenize appending into a caller-owned scratch slice
+// (dst[:0] reuse), so steady-state tokenization performs no allocations
+// once the scratch has grown to the corpus's longest sentence.
+func TokenizeInto(toks []Token, sentence string) []Token {
 	i := 0
 	n := len(sentence)
 	for i < n {
@@ -122,7 +155,33 @@ func Tokenize(sentence string) []Token {
 }
 
 func newToken(text string, start int, kind TokenKind) Token {
-	return Token{Text: text, Lower: strings.ToLower(text), Start: start, Kind: kind}
+	return Token{Text: text, Lower: lowerASCII(text), Start: start, Kind: kind}
+}
+
+// lowerASCII lower-cases a token. Tokens are pure ASCII here (StripNonASCII
+// runs first), and review text is overwhelmingly lowercase already, so the
+// scan-then-return fast path makes Lower a zero-copy alias of Text for the
+// common case.
+func lowerASCII(s string) string {
+	i := 0
+	for ; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			break
+		}
+	}
+	if i == len(s) {
+		return s
+	}
+	b := make([]byte, len(s))
+	copy(b, s[:i])
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b[i] = c
+	}
+	return string(b)
 }
 
 func isLetter(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
@@ -141,16 +200,25 @@ func isApostropheInWord(s string, i int) bool {
 	return i > 0 && isLetter(s[i-1]) && i+1 < len(s) && isLetter(s[i+1])
 }
 
+// tokenScratch recycles token buffers for the helpers that tokenize
+// internally and only return derived data (Words, NormalizeSentence).
+var tokenScratch = sync.Pool{
+	New: func() any { s := make([]Token, 0, 64); return &s },
+}
+
 // Words returns the lower-cased word tokens of a sentence, dropping
 // punctuation. It is the common shortcut for bag-of-words consumers.
 func Words(sentence string) []string {
-	toks := Tokenize(sentence)
+	sp := tokenScratch.Get().(*[]Token)
+	toks := TokenizeInto((*sp)[:0], sentence)
 	out := make([]string, 0, len(toks))
 	for _, t := range toks {
 		if t.Kind == Word || t.Kind == Number {
 			out = append(out, t.Lower)
 		}
 	}
+	*sp = toks[:0]
+	tokenScratch.Put(sp)
 	return out
 }
 

@@ -214,3 +214,57 @@ func TestLevenshteinAtMost(t *testing.T) {
 		t.Error("length delta 3 cannot be within distance 2")
 	}
 }
+
+func TestStripNonASCIIFastPath(t *testing.T) {
+	// Clean input must come back as the identical string value (no copy).
+	clean := "cannot fetch mail since the update"
+	if got := StripNonASCII(clean); got != clean {
+		t.Fatalf("fast path changed clean input: %q", got)
+	}
+	if n := testing.AllocsPerRun(100, func() { StripNonASCII(clean) }); n != 0 {
+		t.Errorf("StripNonASCII on clean input allocates %.0f times, want 0", n)
+	}
+	// Mixed input still takes the slow path and cleans correctly.
+	mixed := []struct{ in, want string }{
+		{"  leading spaces", "leading spaces"},
+		{"double  space", "double space"},
+		{"trailing space ", "trailing space"},
+		{"emoji \U0001F600 inside", "emoji inside"},
+		{"tab\tsep", "tab sep"},
+	}
+	for _, tt := range mixed {
+		if got := StripNonASCII(tt.in); got != tt.want {
+			t.Errorf("StripNonASCII(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTokenizeInto(t *testing.T) {
+	scratch := make([]Token, 0, 32)
+	for _, s := range []string{"send the mail!", "app crashed...", "ok"} {
+		got := TokenizeInto(scratch[:0], s)
+		want := Tokenize(s)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("TokenizeInto(%q) = %v, want %v", s, got, want)
+		}
+	}
+	// Steady state reuses the scratch backing array: zero allocations.
+	if n := testing.AllocsPerRun(100, func() {
+		scratch = TokenizeInto(scratch[:0], "cannot fetch mail since the latest update")
+	}); n != 0 {
+		t.Errorf("TokenizeInto steady state allocates %.0f times, want 0", n)
+	}
+}
+
+func TestLowerASCIIAliasing(t *testing.T) {
+	toks := Tokenize("already lower case")
+	for _, tok := range toks {
+		if tok.Lower != tok.Text {
+			t.Errorf("lowercase token %q: Lower %q differs", tok.Text, tok.Lower)
+		}
+	}
+	toks = Tokenize("MixedCase WORD")
+	if toks[0].Lower != "mixedcase" || toks[1].Lower != "word" {
+		t.Errorf("mixed-case lowering wrong: %q %q", toks[0].Lower, toks[1].Lower)
+	}
+}

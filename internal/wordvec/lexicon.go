@@ -1,5 +1,7 @@
 package wordvec
 
+import "sort"
+
 // synGroup is a set of near-synonymous words sharing a group anchor, grouped
 // under a broader topic anchor. Words inside one group are similar (cos ≈
 // 0.8); words in different groups of the same topic are related but below
@@ -145,3 +147,24 @@ var synonymGroups = []synGroup{
 
 // GroupCount returns the number of synonym groups; exposed for tests.
 func GroupCount() int { return len(synonymGroups) }
+
+// LexiconWords returns every word of the embedding lexicon (group words and
+// topic anchors, deduplicated) in sorted order, for interner construction.
+func LexiconWords() []string {
+	seen := make(map[string]struct{}, 8*len(synonymGroups))
+	var out []string
+	add := func(w string) {
+		if _, ok := seen[w]; !ok {
+			seen[w] = struct{}{}
+			out = append(out, w)
+		}
+	}
+	for _, g := range synonymGroups {
+		add(g.topic)
+		for _, w := range g.words {
+			add(w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
