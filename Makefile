@@ -5,10 +5,14 @@ GO      ?= go
 BENCHDIR ?= bench
 TOL     ?= 0.02
 
-.PHONY: ci fmt vet build test race benchgate bench bench-all obs-smoke profile update-baselines clean
+.PHONY: ci ci-fast fmt vet build test race benchgate bench bench-all obs-smoke snapshot profile update-baselines clean
 
 ci:
 	./ci.sh
+
+# Quick pre-push subset of the gate: no race detector, no benchgate, no
+# smokes. Seconds instead of minutes.
+ci-fast: fmt vet build test
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -24,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/...
 
 benchgate:
 	$(GO) run ./cmd/benchgate -dir $(BENCHDIR) -tol $(TOL)
@@ -46,6 +50,13 @@ bench-all:
 # counts), and scrape the expvar/metrics/health endpoints once.
 obs-smoke:
 	$(GO) run ./cmd/obssmoke
+
+# Compile (and verify) the snapshot of one built-in app. Override with e.g.
+#   make snapshot SNAPAPP=org.wordpress.android SNAPOUT=wp.snap
+SNAPAPP ?= com.fsck.k9
+SNAPOUT ?= $(SNAPAPP).snap
+snapshot:
+	$(GO) run ./cmd/snapshotc -app $(SNAPAPP) -o $(SNAPOUT) -verify
 
 # Profiling workflow: run the streaming corpus benchmark long enough for a
 # useful sample and drop CPU + heap profiles under $(PROFDIR). Inspect with

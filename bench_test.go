@@ -358,6 +358,45 @@ func BenchmarkSnapshotWarmup(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotLoad measures reconstructing a serving-ready Snapshot
+// from a compiled .snap image: container validation, binary IR decode, one
+// apg.Build per release, and zero-copy stitching of the precomputed
+// embedding matrices. Compare against BenchmarkSnapshotWarmup (the
+// in-memory rebuild the file replaces); the CI gate requires ≥10×.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	app := k9()
+	sn := core.NewSnapshot()
+	img, err := core.EncodeSnapshot(sn, app.App)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One warm-up load pays the process-wide solver template (sync.Once).
+	if _, _, err := core.LoadSnapshotBytes(img); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(img)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.LoadSnapshotBytes(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotEncode measures the compile half of the .snap path
+// (extraction state already precomputed — serialization cost only).
+func BenchmarkSnapshotEncode(b *testing.B) {
+	app := k9()
+	sn := core.NewSnapshot()
+	sn.PrecomputeApp(app.App)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EncodeSnapshot(sn, app.App); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPerWorkerWarmup measures the retired seed behaviour for
 // comparison: N workers each building a private solver and re-extracting
 // the same releases (what NewPool did before the Snapshot layer).

@@ -30,11 +30,29 @@ go build ./...
 step "go test"
 go test ./...
 
-step "go test -race ./internal/core/... ./internal/obs/..."
-go test -race ./internal/core/... ./internal/obs/...
+step "go test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/..."
+go test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/...
 
-step "benchgate (tier-1 table metric drift + kernel scan stats + telemetry totals + front-end allocs)"
+# One temp dir holds the compiled snapshot artifact shared by the
+# determinism, benchgate and smoke steps below; removed on any exit.
+SNAPDIR="$(mktemp -d)"
+trap 'rm -rf "$SNAPDIR"' EXIT
+SNAPAPP="${SNAPAPP:-com.fsck.k9}"
+
+step "snapshot determinism (snapshotc compiles the same app to identical bytes)"
+go build -o "$SNAPDIR/snapshotc" ./cmd/snapshotc
+"$SNAPDIR/snapshotc" -app "$SNAPAPP" -o "$SNAPDIR/app.snap" -verify -q
+"$SNAPDIR/snapshotc" -app "$SNAPAPP" -o "$SNAPDIR/again.snap" -q
+cmp "$SNAPDIR/app.snap" "$SNAPDIR/again.snap"
+
+step "benchgate (tier-1 table metric drift + kernel scan stats + telemetry totals + front-end allocs + snapshot gate)"
 go run ./cmd/benchgate -dir "${BENCHDIR:-bench}" -tol "${TOL:-0.02}"
+
+step "snapshot smoke (localization served from the .snap matches the direct build)"
+go build -o "$SNAPDIR/reviewsolver" ./cmd/reviewsolver
+"$SNAPDIR/reviewsolver" -app "$SNAPAPP" -review "cannot fetch mail" >"$SNAPDIR/direct.out"
+"$SNAPDIR/reviewsolver" -snapshot "$SNAPDIR/app.snap" -review "cannot fetch mail" >"$SNAPDIR/loaded.out"
+diff "$SNAPDIR/direct.out" "$SNAPDIR/loaded.out"
 
 step "obs smoke (explain-trace schema, determinism, debug endpoints)"
 go run ./cmd/obssmoke

@@ -61,6 +61,7 @@ func run() error {
 		kernel = flag.Bool("kernel", true, "also gate the similarity-kernel scan snapshot (BENCH_KERNEL.json)")
 		obsFlg = flag.Bool("obs", true, "also gate the telemetry registry snapshot (BENCH_OBS.json)")
 		frontE = flag.Bool("frontend", true, "also gate front-end allocation counts and cache hit rate (BENCH_FRONTEND.json)")
+		snapFl = flag.Bool("snapshot", true, "also gate the snapshot image structure and load equivalence (BENCH_SNAPSHOT.json)")
 		update = flag.Bool("update", false, "rewrite the baselines from this run")
 	)
 	flag.Parse()
@@ -135,6 +136,23 @@ func run() error {
 		}
 		path := filepath.Join(*dir, "BENCH_FRONTEND.json")
 		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, *tol, *update, "frontend")
+		if err != nil {
+			return err
+		}
+		if madeBaseline {
+			created++
+		}
+		if drifted {
+			failed++
+		}
+	}
+	if *snapFl {
+		cur, err := snapshotSnapshot(*seed)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, "BENCH_SNAPSHOT.json")
+		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, *tol, *update, "snapshot")
 		if err != nil {
 			return err
 		}

@@ -8,8 +8,14 @@
 //	reviewsolver -list
 //	reviewsolver -app com.fsck.k9 -review "cannot fetch mail since the update"
 //	reviewsolver -appfile app.json -review "the reply button doesn't show"
+//	reviewsolver -snapshot k9.snap -review "cannot fetch mail since the update"
 //	reviewsolver -app com.fsck.k9 -review "..." -explain trace.json
 //	reviewsolver -app com.fsck.k9 -triage -debug-addr localhost:6060 -trace
+//
+// With -snapshot the app IR and all precomputed matching state come from a
+// .snap file compiled by snapshotc — no static extraction or catalog
+// embedding at startup — and localization output is byte-identical to the
+// in-memory build.
 package main
 
 import (
@@ -40,6 +46,7 @@ func run() error {
 	var (
 		appPkg    = flag.String("app", "", "package id of a built-in generated app")
 		appFile   = flag.String("appfile", "", "path to an app IR JSON file")
+		snapPath  = flag.String("snapshot", "", "serve from a .snap snapshot compiled by snapshotc (replaces -app/-appfile)")
 		review    = flag.String("review", "", "review text to localize")
 		list      = flag.Bool("list", false, "list the built-in generated apps")
 		seed      = flag.Int64("seed", 1, "generator seed for built-in apps")
@@ -81,9 +88,26 @@ func run() error {
 		return errors.New("missing -review text (or use -list / -triage)")
 	}
 
-	app, err := loadApp(*appPkg, *appFile, *seed)
-	if err != nil {
-		return err
+	vec, clf := textclass.TrainOn(synth.TrainingCorpus(*seed),
+		func() textclass.Classifier { return textclass.NewBoostedTrees() })
+
+	var (
+		app *apk.App
+		sn  *core.Snapshot
+		err error
+	)
+	if *snapPath != "" {
+		sn, app, err = core.LoadSnapshot(*snapPath, core.WithClassifier(vec, clf))
+		if err != nil {
+			return fmt.Errorf("load snapshot: %w", err)
+		}
+	} else {
+		app, err = loadApp(*appPkg, *appFile, *seed)
+		if err != nil {
+			return err
+		}
+		sn = core.NewSnapshot(core.WithClassifier(vec, clf))
+		sn.PrecomputeApp(app)
 	}
 
 	publishedAt := app.Latest().ReleasedAt.AddDate(0, 0, 1)
@@ -94,10 +118,6 @@ func run() error {
 		}
 	}
 
-	vec, clf := textclass.TrainOn(synth.TrainingCorpus(*seed),
-		func() textclass.Classifier { return textclass.NewBoostedTrees() })
-	sn := core.NewSnapshot(core.WithClassifier(vec, clf))
-	sn.PrecomputeApp(app)
 	solver := core.NewWithSnapshot(sn, core.WithParallelism(*parallel), core.WithObserver(rec))
 
 	if *explain != "" {

@@ -7,6 +7,7 @@ package apg
 
 import (
 	"sort"
+	"strings"
 
 	"reviewsolver/internal/apk"
 )
@@ -25,14 +26,20 @@ func (s Site) Statement() apk.Statement { return s.Method.Statements[s.StmtIdx] 
 // Class returns the fully qualified class owning the site.
 func (s Site) Class() string { return s.Method.Class }
 
+// ref names a method as (class, method) without concatenating the pair —
+// the graph's maps key on it so Build never builds qualified-name strings
+// for the hot framework-call case.
+type ref struct{ class, method string }
+
 // Graph is the property graph of one release.
 type Graph struct {
 	release *apk.Release
-	// methods indexes app methods by qualified name.
-	methods map[string]*apk.Method
-	// callSites indexes invocation sites by callee "class.method".
-	callSites map[string][]Site
-	// callers/callees are the MCG edges restricted to app methods.
+	// methods indexes app methods by (class, method).
+	methods map[ref]*apk.Method
+	// callSites indexes invocation sites by callee (class, method).
+	callSites map[ref][]Site
+	// callers/callees are the MCG edges restricted to app methods, keyed
+	// and valued by qualified name (the form ranking consumes).
 	callers map[string][]string
 	callees map[string][]string
 	// classDeps maps a class to the set of app classes it invokes.
@@ -41,31 +48,46 @@ type Graph struct {
 
 // Build constructs the graph for a release.
 func Build(r *apk.Release) *Graph {
+	methodCount := 0
+	for _, c := range r.Classes {
+		methodCount += len(c.Methods)
+	}
 	g := &Graph{
 		release:   r,
-		methods:   make(map[string]*apk.Method),
-		callSites: make(map[string][]Site),
-		callers:   make(map[string][]string),
-		callees:   make(map[string][]string),
-		classDeps: make(map[string]map[string]struct{}),
+		methods:   make(map[ref]*apk.Method, methodCount),
+		callSites: make(map[ref][]Site, methodCount),
+		callers:   make(map[string][]string, methodCount),
+		callees:   make(map[string][]string, methodCount),
+		classDeps: make(map[string]map[string]struct{}, len(r.Classes)),
 	}
 	appClasses := make(map[string]struct{}, len(r.Classes))
 	for _, c := range r.Classes {
 		appClasses[c.Name] = struct{}{}
-		for _, m := range c.Methods {
-			g.methods[m.QualifiedName()] = m
-		}
 	}
+	// calleeName interns the qualified callee strings the MCG edge lists
+	// need, so each distinct app-internal callee is concatenated once, not
+	// once per invocation site. Framework callees never need the string.
+	calleeName := make(map[ref]string, methodCount)
 	for _, c := range r.Classes {
 		for _, m := range c.Methods {
-			from := m.QualifiedName()
-			for i, st := range m.Statements {
+			g.methods[ref{m.Class, m.Name}] = m
+			from := "" // built on first app-internal callee only
+			for i := range m.Statements {
+				st := &m.Statements[i]
 				if st.Op != apk.OpInvoke {
 					continue
 				}
-				callee := st.Callee()
-				g.callSites[callee] = append(g.callSites[callee], Site{Method: m, StmtIdx: i})
+				k := ref{st.InvokeClass, st.InvokeMethod}
+				g.callSites[k] = append(g.callSites[k], Site{Method: m, StmtIdx: i})
 				if _, isApp := appClasses[st.InvokeClass]; isApp {
+					callee, ok := calleeName[k]
+					if !ok {
+						callee = st.Callee()
+						calleeName[k] = callee
+					}
+					if from == "" {
+						from = m.QualifiedName()
+					}
 					g.callees[from] = append(g.callees[from], callee)
 					g.callers[callee] = append(g.callers[callee], from)
 					if st.InvokeClass != c.Name {
@@ -86,30 +108,84 @@ func Build(r *apk.Release) *Graph {
 // Release returns the release the graph was built from.
 func (g *Graph) Release() *apk.Release { return g.release }
 
-// Method returns the app method with the given qualified name.
+// Method returns the app method with the given qualified name. Method names
+// never contain '.', so the last dot splits class from method.
 func (g *Graph) Method(qualified string) (*apk.Method, bool) {
-	m, ok := g.methods[qualified]
+	i := strings.LastIndexByte(qualified, '.')
+	if i < 0 {
+		return nil, false
+	}
+	return g.MethodRef(qualified[:i], qualified[i+1:])
+}
+
+// MethodRef returns the app method declared on class with the given name.
+func (g *Graph) MethodRef(class, name string) (*apk.Method, bool) {
+	m, ok := g.methods[ref{class, name}]
 	return m, ok
 }
 
 // Methods returns all app methods, sorted by qualified name.
 func (g *Graph) Methods() []*apk.Method {
-	names := make([]string, 0, len(g.methods))
-	for n := range g.methods {
-		names = append(names, n)
+	out := make([]*apk.Method, 0, len(g.methods))
+	for _, m := range g.methods {
+		out = append(out, m)
 	}
-	sort.Strings(names)
-	out := make([]*apk.Method, len(names))
-	for i, n := range names {
-		out[i] = g.methods[n]
-	}
+	sort.Slice(out, func(i, j int) bool { return qualifiedLess(out[i], out[j]) })
 	return out
+}
+
+// qualifiedLess orders methods exactly as comparing their QualifiedName
+// strings would, without building them. The slow byte-walk only runs when
+// one class name is a proper prefix of the other (where the shorter side
+// reads "." + its method name against the rest of the longer class name).
+func qualifiedLess(a, b *apk.Method) bool {
+	ac, bc := a.Class, b.Class
+	if ac == bc {
+		return a.Name < b.Name
+	}
+	n := len(ac)
+	if len(bc) < n {
+		n = len(bc)
+	}
+	if ap, bp := ac[:n], bc[:n]; ap != bp {
+		return ap < bp
+	}
+	if len(ac) < len(bc) {
+		return catLess([]string{".", a.Name}, []string{bc[n:], ".", b.Name})
+	}
+	return catLess([]string{ac[n:], ".", a.Name}, []string{".", b.Name})
+}
+
+// catLess compares the virtual concatenations of two segment lists.
+func catLess(a, b []string) bool {
+	var ai, aoff, bi, boff int
+	for {
+		for ai < len(a) && aoff == len(a[ai]) {
+			ai++
+			aoff = 0
+		}
+		for bi < len(b) && boff == len(b[bi]) {
+			bi++
+			boff = 0
+		}
+		if ai == len(a) {
+			return bi != len(b)
+		}
+		if bi == len(b) {
+			return false
+		}
+		if ca, cb := a[ai][aoff], b[bi][boff]; ca != cb {
+			return ca < cb
+		}
+		aoff++
+		boff++
+	}
 }
 
 // CallSitesOf returns every invocation site of class.method (framework API
 // or app method), in deterministic order.
 func (g *Graph) CallSitesOf(class, method string) []Site {
-	sites := g.callSites[class+"."+method]
+	sites := g.callSites[ref{class, method}]
 	out := make([]Site, len(sites))
 	copy(out, sites)
 	sort.Slice(out, func(i, j int) bool {
@@ -125,7 +201,7 @@ func (g *Graph) CallSitesOf(class, method string) []Site {
 // ClassesCalling returns the distinct app classes that invoke class.method.
 func (g *Graph) ClassesCalling(class, method string) []string {
 	set := make(map[string]struct{})
-	for _, s := range g.callSites[class+"."+method] {
+	for _, s := range g.callSites[ref{class, method}] {
 		set[s.Class()] = struct{}{}
 	}
 	out := make([]string, 0, len(set))
@@ -294,7 +370,8 @@ type ExceptionSite struct {
 func (g *Graph) ExceptionSites() []ExceptionSite {
 	var out []ExceptionSite
 	for _, m := range g.Methods() {
-		for i, st := range m.Statements {
+		for i := range m.Statements {
+			st := &m.Statements[i]
 			switch st.Op {
 			case apk.OpThrow:
 				out = append(out, ExceptionSite{Exception: st.Exception,
@@ -318,7 +395,8 @@ func (g *Graph) FrameworkCalls() []Site {
 	var out []Site
 	for _, c := range g.release.Classes {
 		for _, m := range c.Methods {
-			for i, st := range m.Statements {
+			for i := range m.Statements {
+				st := &m.Statements[i]
 				if st.Op != apk.OpInvoke {
 					continue
 				}

@@ -1,0 +1,266 @@
+// Binary IR codec. The JSON form (SaveJSON/LoadJSON) stays the interchange
+// format for humans and generators; this compact little-endian encoding is
+// what snapshots embed, because decoding a ~100 KB app must fit in the
+// sub-millisecond core.LoadSnapshot budget where encoding/json does not.
+//
+// The encoding is deterministic: slices keep their order and the one map
+// (StringRes) is emitted in sorted key order, so identical apps produce
+// identical bytes — the property the CI snapshot determinism gate rests on.
+// Release times are encoded as RFC 3339 nanosecond strings, matching the
+// JSON codec's wire semantics.
+package apk
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"reviewsolver/internal/snapfile"
+)
+
+// AppendBinary encodes the app into enc.
+func (a *App) AppendBinary(e *snapfile.Enc) {
+	e.Str(a.Package)
+	e.Str(a.Name)
+	e.U32(uint32(len(a.Releases)))
+	for _, r := range a.Releases {
+		r.appendBinary(e)
+	}
+}
+
+// DecodeBinary decodes an app encoded by AppendBinary. Corruption surfaces
+// as a typed snapfile error, never a panic.
+func DecodeBinary(d *snapfile.Dec) (*App, error) {
+	a := &App{Package: d.Str(), Name: d.Str()}
+	n := d.Count(8)
+	if n > 0 {
+		a.Releases = make([]*Release, 0, n)
+	}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		r, err := decodeRelease(d)
+		if err != nil {
+			return nil, err
+		}
+		a.Releases = append(a.Releases, r)
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("decode app: %w", err)
+	}
+	return a, nil
+}
+
+func (r *Release) appendBinary(e *snapfile.Enc) {
+	e.Str(r.Version)
+	e.I64(int64(r.VersionCode))
+	e.Str(r.ReleasedAt.Format(time.RFC3339Nano))
+	e.Str(r.Manifest.Package)
+	e.StrSlice(r.Manifest.Permissions)
+	e.U32(uint32(len(r.Manifest.Activities)))
+	for _, a := range r.Manifest.Activities {
+		e.Str(a.Name)
+		e.Str(a.LayoutID)
+		e.U32(uint32(len(a.IntentFilters)))
+		for _, f := range a.IntentFilters {
+			e.StrSlice(f.Actions)
+			e.StrSlice(f.Categories)
+		}
+	}
+	// Arena totals: the decoder allocates one backing array per kind and
+	// carves it up, instead of one allocation per method and statement.
+	methods, stmts, uses := 0, 0, 0
+	for _, c := range r.Classes {
+		methods += len(c.Methods)
+		for _, m := range c.Methods {
+			stmts += len(m.Statements)
+			for i := range m.Statements {
+				uses += len(m.Statements[i].Uses)
+			}
+		}
+	}
+	e.U32(uint32(methods))
+	e.U32(uint32(stmts))
+	e.U32(uint32(uses))
+	e.U32(uint32(len(r.Classes)))
+	for _, c := range r.Classes {
+		e.Str(c.Name)
+		e.Str(c.Super)
+		e.U32(uint32(len(c.Methods)))
+		for _, m := range c.Methods {
+			e.Str(m.Name)
+			e.Str(m.Class)
+			e.U32(uint32(len(m.Statements)))
+			for i := range m.Statements {
+				st := &m.Statements[i]
+				e.U8(uint8(st.Op))
+				e.Str(st.Def)
+				e.StrSlice(st.Uses)
+				e.Str(st.Const)
+				e.Str(st.InvokeClass)
+				e.Str(st.InvokeMethod)
+				e.Str(st.Exception)
+			}
+		}
+	}
+	e.U32(uint32(len(r.Layouts)))
+	for _, l := range r.Layouts {
+		e.Str(l.ID)
+		appendWidget(e, &l.Root)
+	}
+	keys := make([]string, 0, len(r.StringRes))
+	for k := range r.StringRes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.U32(uint32(len(keys)))
+	for _, k := range keys {
+		e.Str(k)
+		e.Str(r.StringRes[k])
+	}
+}
+
+func decodeRelease(d *snapfile.Dec) (*Release, error) {
+	r := &Release{Version: d.Str(), VersionCode: int(d.I64())}
+	if ts := d.Str(); d.Err() == nil {
+		t, err := time.Parse(time.RFC3339Nano, ts)
+		if err != nil {
+			return nil, fmt.Errorf("%w: release time %q: %v", snapfile.ErrCorrupt, ts, err)
+		}
+		r.ReleasedAt = t
+	}
+	r.Manifest.Package = d.Str()
+	r.Manifest.Permissions = d.StrSlice()
+	nActs := d.Count(8)
+	if nActs > 0 {
+		r.Manifest.Activities = make([]ActivityDecl, 0, nActs)
+	}
+	for i := 0; i < nActs && d.Err() == nil; i++ {
+		a := ActivityDecl{Name: d.Str(), LayoutID: d.Str()}
+		for j, nf := 0, d.Count(8); j < nf && d.Err() == nil; j++ {
+			a.IntentFilters = append(a.IntentFilters, IntentFilter{
+				Actions:    d.StrSlice(),
+				Categories: d.StrSlice(),
+			})
+		}
+		r.Manifest.Activities = append(r.Manifest.Activities, a)
+	}
+	// Arena decode: the header's totals size one backing array per kind;
+	// classes, methods, statements and use-lists are carved out of them, so
+	// the whole class table costs a handful of allocations. The cursors are
+	// bounds-checked against the declared totals (a corrupt per-class count
+	// cannot walk past an arena) and must land exactly at the end.
+	totalMethods := d.Count(12)
+	totalStmts := d.Count(25)
+	totalUses := d.Count(4)
+	nClasses := d.Count(8)
+	classArena := make([]Class, nClasses)
+	methodArena := make([]Method, totalMethods)
+	stmtArena := make([]Statement, totalStmts)
+	useArena := snapfile.NewStrArena(totalUses, 0)
+	mu, su := 0, 0
+	if nClasses > 0 {
+		r.Classes = make([]*Class, 0, nClasses)
+	}
+	for i := 0; i < nClasses && d.Err() == nil; i++ {
+		c := &classArena[i]
+		c.Name, c.Super = d.Str(), d.Str()
+		nm := d.Count(8)
+		if mu+nm > totalMethods {
+			return nil, fmt.Errorf("%w: class methods exceed declared total %d", snapfile.ErrCorrupt, totalMethods)
+		}
+		if nm > 0 {
+			c.Methods = make([]*Method, 0, nm)
+		}
+		for j := 0; j < nm && d.Err() == nil; j++ {
+			m := &methodArena[mu]
+			mu++
+			m.Name, m.Class = d.Str(), d.Str()
+			ns := d.Count(10)
+			if su+ns > totalStmts {
+				return nil, fmt.Errorf("%w: method statements exceed declared total %d", snapfile.ErrCorrupt, totalStmts)
+			}
+			stmts := stmtArena[su : su+ns : su+ns]
+			su += ns
+			for k := 0; k < ns && d.Err() == nil; k++ {
+				st := &stmts[k]
+				st.Op = Op(d.U8())
+				st.Def = d.Str()
+				st.Uses = d.StrSliceIn(useArena)
+				st.Const = d.Str()
+				st.InvokeClass = d.Str()
+				st.InvokeMethod = d.Str()
+				st.Exception = d.Str()
+				if d.Err() == nil && (st.Op < OpConstString || st.Op > OpReturn) {
+					return nil, fmt.Errorf("%w: statement opcode %d", snapfile.ErrCorrupt, st.Op)
+				}
+			}
+			m.Statements = stmts
+			c.Methods = append(c.Methods, m)
+		}
+		r.Classes = append(r.Classes, c)
+	}
+	if d.Err() == nil && (mu != totalMethods || su != totalStmts || !useArena.Drained()) {
+		return nil, fmt.Errorf("%w: declared arena totals not consumed (%d/%d methods, %d/%d statements, %d unused uses)",
+			snapfile.ErrCorrupt, mu, totalMethods, su, totalStmts, len(useArena.Elems))
+	}
+	nLayouts := d.Count(8)
+	if nLayouts > 0 {
+		r.Layouts = make([]Layout, 0, nLayouts)
+	}
+	for i := 0; i < nLayouts && d.Err() == nil; i++ {
+		l := Layout{ID: d.Str()}
+		w, err := decodeWidget(d, 0)
+		if err != nil {
+			return nil, err
+		}
+		l.Root = w
+		r.Layouts = append(r.Layouts, l)
+	}
+	if n := d.Count(8); n > 0 && d.Err() == nil {
+		r.StringRes = make(map[string]string, n)
+		for i := 0; i < n && d.Err() == nil; i++ {
+			k := d.Str()
+			r.StringRes[k] = d.Str()
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// maxWidgetDepth bounds layout-tree recursion so corrupt nesting counts
+// cannot blow the stack.
+const maxWidgetDepth = 64
+
+func appendWidget(e *snapfile.Enc, w *Widget) {
+	e.Str(w.Type)
+	e.Str(w.ID)
+	e.Str(w.Text)
+	e.Str(w.Hint)
+	e.U32(uint32(len(w.Children)))
+	for i := range w.Children {
+		appendWidget(e, &w.Children[i])
+	}
+}
+
+func decodeWidget(d *snapfile.Dec, depth int) (Widget, error) {
+	if depth > maxWidgetDepth {
+		return Widget{}, fmt.Errorf("%w: widget tree deeper than %d", snapfile.ErrCorrupt, maxWidgetDepth)
+	}
+	w := Widget{Type: d.Str(), ID: d.Str(), Text: d.Str(), Hint: d.Str()}
+	n := d.Count(8)
+	if n > 0 && d.Err() == nil {
+		w.Children = make([]Widget, 0, n)
+	}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		c, err := decodeWidget(d, depth+1)
+		if err != nil {
+			return Widget{}, err
+		}
+		w.Children = append(w.Children, c)
+	}
+	if err := d.Err(); err != nil {
+		return Widget{}, err
+	}
+	return w, nil
+}

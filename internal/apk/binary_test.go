@@ -1,0 +1,140 @@
+package apk_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/snapfile"
+	"reviewsolver/internal/synth"
+)
+
+func encodeApp(a *apk.App) []byte {
+	e := snapfile.NewEnc(1 << 16)
+	a.AppendBinary(e)
+	return e.Bytes()
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	app := synth.GenerateSample(3).App
+	raw := encodeApp(app)
+	got, err := apk.DecodeBinary(snapfile.NewDec(raw))
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if !reflect.DeepEqual(app, got) {
+		t.Fatal("decoded app differs from original")
+	}
+	// Deterministic: re-encoding the decoded app reproduces the bytes, and
+	// encoding the original twice agrees.
+	if string(encodeApp(got)) != string(raw) {
+		t.Fatal("encode(decode(x)) bytes differ from encode(x)")
+	}
+	if string(encodeApp(app)) != string(raw) {
+		t.Fatal("two encodes of the same app differ")
+	}
+}
+
+func TestBinaryRoundTripEdgeCases(t *testing.T) {
+	app := &apk.App{
+		Package: "com.example",
+		Name:    "Example",
+		Releases: []*apk.Release{{
+			Version:     "1.0",
+			VersionCode: 1,
+			ReleasedAt:  time.Date(2015, 4, 1, 12, 30, 0, 987654321, time.UTC),
+			Manifest: apk.Manifest{
+				Package: "com.example",
+				Activities: []apk.ActivityDecl{{
+					Name:          "com.example.Main",
+					IntentFilters: []apk.IntentFilter{{Actions: []string{apk.ActionMain}}},
+				}},
+			},
+			Classes: []*apk.Class{{
+				Name: "com.example.Main",
+				Methods: []*apk.Method{{
+					Name:  "onCreate",
+					Class: "com.example.Main",
+					Statements: []apk.Statement{
+						{Op: apk.OpConstString, Def: "s", Const: "hi"},
+						{Op: apk.OpInvoke, Uses: []string{"s"}, InvokeClass: "android.util.Log", InvokeMethod: "d"},
+					},
+				}},
+			}},
+			Layouts: []apk.Layout{{
+				ID: "main",
+				Root: apk.Widget{Type: "LinearLayout", Children: []apk.Widget{
+					{Type: "Button", ID: "ok_btn", Text: "@string/ok"},
+				}},
+			}},
+			StringRes: map[string]string{"ok": "OK", "cancel": "Cancel"},
+		}},
+	}
+	raw := encodeApp(app)
+	got, err := apk.DecodeBinary(snapfile.NewDec(raw))
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if !reflect.DeepEqual(app, got) {
+		t.Fatal("decoded app differs from original")
+	}
+	// Nanosecond release times survive (RFC 3339 nano encoding).
+	if !got.Releases[0].ReleasedAt.Equal(app.Releases[0].ReleasedAt) {
+		t.Fatal("release time lost precision")
+	}
+}
+
+func TestBinaryDecodeCorrupt(t *testing.T) {
+	app := synth.GenerateSample(3).App
+	raw := encodeApp(app)
+	// Package and Name are length-prefixed strings; the release count
+	// follows them.
+	countOff := 4 + len(app.Package) + 4 + len(app.Name)
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bad release count", func(b []byte) []byte {
+			b[countOff] = 0xff
+			b[countOff+1] = 0xff
+			b[countOff+2] = 0xff
+			b[countOff+3] = 0x7f
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := apk.DecodeBinary(snapfile.NewDec(tc.mutate(append([]byte(nil), raw...))))
+			if err == nil {
+				t.Fatal("DecodeBinary succeeded on corrupt input")
+			}
+			if !errors.Is(err, snapfile.ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+	t.Run("bad opcode", func(t *testing.T) {
+		app := &apk.App{Package: "p", Name: "n", Releases: []*apk.Release{{
+			Version: "1", ReleasedAt: time.Unix(0, 0).UTC(),
+			Classes: []*apk.Class{{Name: "C", Methods: []*apk.Method{{
+				Name: "m", Class: "C", Statements: []apk.Statement{{Op: apk.OpReturn}},
+			}}}},
+		}}}
+		raw := encodeApp(app)
+		// The opcode byte is the first byte of the statement record; find it
+		// by encoding with a poisoned op and checking the decoder rejects it.
+		app.Releases[0].Classes[0].Methods[0].Statements[0].Op = apk.Op(99)
+		bad := encodeApp(app)
+		if len(bad) != len(raw) {
+			t.Fatal("opcode change altered length")
+		}
+		_, err := apk.DecodeBinary(snapfile.NewDec(bad))
+		if !errors.Is(err, snapfile.ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"reviewsolver/internal/snapfile"
+	"reviewsolver/internal/synth"
+)
+
+// buildImage encodes one seeded app's snapshot.
+func buildImage(t *testing.T, seed int64) (*synth.AppData, *Snapshot, []byte) {
+	t.Helper()
+	data := synth.GenerateSample(seed)
+	sn := NewSnapshot()
+	img, err := EncodeSnapshot(sn, data.App)
+	if err != nil {
+		t.Fatalf("seed %d: EncodeSnapshot: %v", seed, err)
+	}
+	return data, sn, img
+}
+
+// TestSnapshotEncodeDeterministic: same IR → same bytes, including across
+// independently built snapshots, and across a save→load→save round trip.
+func TestSnapshotEncodeDeterministic(t *testing.T) {
+	data, sn, img := buildImage(t, 3)
+	again, err := EncodeSnapshot(sn, data.App)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(again) != string(img) {
+		t.Fatal("re-encoding the same snapshot produced different bytes")
+	}
+	img2, err := EncodeSnapshot(NewSnapshot(), synth.GenerateSample(3).App)
+	if err != nil {
+		t.Fatalf("independent encode: %v", err)
+	}
+	if string(img2) != string(img) {
+		t.Fatal("independently built snapshots of the same IR differ")
+	}
+
+	loaded, lapp, err := LoadSnapshotBytes(img)
+	if err != nil {
+		t.Fatalf("LoadSnapshotBytes: %v", err)
+	}
+	reImg, err := EncodeSnapshot(loaded, lapp)
+	if err != nil {
+		t.Fatalf("encode of loaded snapshot: %v", err)
+	}
+	if string(reImg) != string(img) {
+		t.Fatal("save→load→save is not byte-identical")
+	}
+}
+
+// TestLoadSnapshotMatchesBuild is the tentpole property test: localization
+// served from a loaded snapshot is identical to the in-memory NewSnapshot
+// path, across seeds and worker counts.
+func TestLoadSnapshotMatchesBuild(t *testing.T) {
+	for _, seed := range []int64{3, 5, 7, 9} {
+		data, sn, img := buildImage(t, seed)
+		loaded, lapp, err := LoadSnapshotBytes(img)
+		if err != nil {
+			t.Fatalf("seed %d: LoadSnapshotBytes: %v", seed, err)
+		}
+		if loaded.CatalogSize() != sn.CatalogSize() {
+			t.Fatalf("seed %d: catalog size %d, want %d", seed, loaded.CatalogSize(), sn.CatalogSize())
+		}
+
+		inputs := make([]ReviewInput, 0, 25)
+		for i, rv := range data.Reviews {
+			if i >= 25 {
+				break
+			}
+			inputs = append(inputs, ReviewInput{Text: rv.Text, PublishedAt: rv.PublishedAt})
+		}
+		want := NewPoolWithSnapshot(1, sn).Localize(data.App, inputs)
+
+		for _, workers := range []int{1, 2, 4} {
+			got := NewPoolWithSnapshot(workers, loaded).Localize(lapp, inputs)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d workers %d: %d results, want %d", seed, workers, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i].Mappings, want[i].Mappings) {
+					t.Fatalf("seed %d workers %d review %d: loaded mappings differ from built", seed, workers, i)
+				}
+				if !reflect.DeepEqual(got[i].Ranked, want[i].Ranked) {
+					t.Fatalf("seed %d workers %d review %d: loaded ranking differs from built", seed, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSaveLoadSnapshotFile exercises the file-path API.
+func TestSaveLoadSnapshotFile(t *testing.T) {
+	data := synth.GenerateSample(5)
+	path := filepath.Join(t.TempDir(), "app.snap")
+	if err := SaveSnapshot(NewSnapshot(), data.App, path); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	loaded, lapp, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if lapp.Package != data.App.Package || len(lapp.Releases) != len(data.App.Releases) {
+		t.Fatalf("loaded IR %s/%d releases, want %s/%d",
+			lapp.Package, len(lapp.Releases), data.App.Package, len(data.App.Releases))
+	}
+	rv := data.ErrorReviews()[0]
+	res := NewWithSnapshot(loaded).LocalizeReview(lapp, rv.Text, rv.PublishedAt)
+	if res == nil || !res.IsError {
+		t.Fatal("loaded snapshot did not localize an error review")
+	}
+	if _, _, err := LoadSnapshot(filepath.Join(t.TempDir(), "missing.snap")); err == nil {
+		t.Fatal("LoadSnapshot on a missing file succeeded")
+	}
+}
+
+// rewriteSection mutates a section payload in place and fixes up its CRC in
+// the section table, so the container stays valid and the mutation reaches
+// the schema layer.
+func rewriteSection(t *testing.T, img []byte, id uint32, mutate func(payload []byte)) []byte {
+	t.Helper()
+	out := append([]byte(nil), img...)
+	le := binary.LittleEndian
+	count := int(le.Uint32(out[12:]))
+	for i := 0; i < count; i++ {
+		e := out[32+32*i:]
+		if le.Uint32(e[0:]) != id {
+			continue
+		}
+		off, length := le.Uint64(e[8:]), le.Uint64(e[16:])
+		payload := out[off : off+length]
+		mutate(payload)
+		le.PutUint32(e[4:], snapfile.Checksum(payload))
+		return out
+	}
+	t.Fatalf("section %#x not found", id)
+	return nil
+}
+
+// TestLoadSnapshotTypedErrors: corrupt or incompatible images must surface
+// as the documented typed errors, never panics.
+func TestLoadSnapshotTypedErrors(t *testing.T) {
+	_, _, img := buildImage(t, 3)
+
+	t.Run("truncated", func(t *testing.T) {
+		_, _, err := LoadSnapshotBytes(img[:len(img)/3])
+		if !errors.Is(err, snapfile.ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		bad[0] = '!'
+		_, _, err := LoadSnapshotBytes(bad)
+		if !errors.Is(err, snapfile.ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("unsupported version", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		binary.LittleEndian.PutUint32(bad[8:], snapfile.Version+7)
+		_, _, err := LoadSnapshotBytes(bad)
+		if !errors.Is(err, snapfile.ErrVersion) {
+			t.Fatalf("err = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("checksum mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		bad[len(bad)-1] ^= 0xff // last payload byte, CRC not fixed up
+		_, _, err := LoadSnapshotBytes(bad)
+		if !errors.Is(err, snapfile.ErrChecksum) {
+			t.Fatalf("err = %v, want ErrChecksum", err)
+		}
+	})
+	t.Run("misaligned section", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		le := binary.LittleEndian
+		off := le.Uint64(bad[32+8:])
+		le.PutUint64(bad[32+8:], off+4)
+		_, _, err := LoadSnapshotBytes(bad)
+		if !errors.Is(err, snapfile.ErrMisaligned) {
+			t.Fatalf("err = %v, want ErrMisaligned", err)
+		}
+	})
+	t.Run("incompatible dim", func(t *testing.T) {
+		bad := rewriteSection(t, img, secMeta, func(p []byte) {
+			// Dim is the u32 after the package string and release count.
+			off := 4 + binary.LittleEndian.Uint32(p) + 4
+			binary.LittleEndian.PutUint32(p[off:], 128)
+		})
+		_, _, err := LoadSnapshotBytes(bad)
+		if !errors.Is(err, ErrSnapshotIncompatible) {
+			t.Fatalf("err = %v, want ErrSnapshotIncompatible", err)
+		}
+	})
+	t.Run("catalog fingerprint mismatch", func(t *testing.T) {
+		bad := rewriteSection(t, img, secMeta, func(p []byte) {
+			off := 4 + binary.LittleEndian.Uint32(p) + 4 + 4 + 4 + 8 + 4
+			p[off] ^= 0xff
+		})
+		_, _, err := LoadSnapshotBytes(bad)
+		if !errors.Is(err, ErrSnapshotIncompatible) {
+			t.Fatalf("err = %v, want ErrSnapshotIncompatible", err)
+		}
+	})
+	t.Run("vocabulary fingerprint mismatch", func(t *testing.T) {
+		bad := rewriteSection(t, img, secInterner, func(p []byte) {
+			p[len(p)-1] ^= 0xff
+		})
+		_, _, err := LoadSnapshotBytes(bad)
+		if !errors.Is(err, ErrSnapshotIncompatible) {
+			t.Fatalf("err = %v, want ErrSnapshotIncompatible", err)
+		}
+	})
+	t.Run("corrupt app IR", func(t *testing.T) {
+		bad := rewriteSection(t, img, secAppIR, func(p []byte) {
+			// Stomp the release count inside the IR with a huge value.
+			d := snapfile.NewDec(p)
+			d.Str()
+			d.Str()
+			off := len(p) - d.Remaining()
+			binary.LittleEndian.PutUint32(p[off:], 1<<30)
+		})
+		_, _, err := LoadSnapshotBytes(bad)
+		if !errors.Is(err, snapfile.ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("missing section", func(t *testing.T) {
+		// Relabel the catalog-data section so the expected ID is absent.
+		bad := append([]byte(nil), img...)
+		le := binary.LittleEndian
+		count := int(le.Uint32(bad[12:]))
+		for i := 0; i < count; i++ {
+			e := bad[32+32*i:]
+			if le.Uint32(e[0:]) == secCatData {
+				le.PutUint32(e[0:], 0xdead)
+				break
+			}
+		}
+		_, _, err := LoadSnapshotBytes(bad)
+		if !errors.Is(err, snapfile.ErrCorrupt) {
+			t.Fatalf("err = %v, want ErrCorrupt", err)
+		}
+	})
+}

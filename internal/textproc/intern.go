@@ -102,6 +102,28 @@ func (in *Interner) IsStop(t Token) bool {
 	return IsStopword(t.Lower)
 }
 
+// Export returns the symbol table in ID order: the interned words and their
+// flags, parallel slices suitable for serialization. The slices alias the
+// interner's internals; callers must not mutate them.
+func (in *Interner) Export() (words []string, flags []uint16) {
+	return in.words, in.flags
+}
+
+// NewInternerFromTable rebuilds an interner from an Export-style table,
+// preserving IDs (words[i] gets ID i). It is the deserialization twin of
+// Export: NewInternerFromTable(in.Export()) is equivalent to in.
+func NewInternerFromTable(words []string, flags []uint16) *Interner {
+	in := &Interner{
+		ids:   make(map[string]uint32, len(words)),
+		words: words,
+		flags: flags,
+	}
+	for i, w := range words {
+		in.ids[w] = uint32(i)
+	}
+	return in
+}
+
 // AppendIDs appends the 4-byte little-endian IDs of the words to dst and
 // reports whether every word was interned. When any word is unknown the
 // caller must fall back to a string key; dst may hold a partial prefix.

@@ -120,3 +120,36 @@ func TestDefaultVocabAccessors(t *testing.T) {
 		}
 	}
 }
+
+func TestInternerExportRoundTrip(t *testing.T) {
+	orig := NewInterner(
+		InternVocab{Words: []string{"email", "crash", "the"}, Flags: SymDictionary},
+		InternVocab{Words: []string{"the", "a"}, Flags: SymStopword},
+	)
+	words, flags := orig.Export()
+	if len(words) != orig.Size() || len(flags) != orig.Size() {
+		t.Fatalf("Export shapes %d/%d for size %d", len(words), len(flags), orig.Size())
+	}
+	re := NewInternerFromTable(words, flags)
+	if re.Size() != orig.Size() {
+		t.Fatalf("rebuilt size %d, want %d", re.Size(), orig.Size())
+	}
+	for _, w := range []string{"email", "crash", "the", "a", "missing"} {
+		oid, ook := orig.ID(w)
+		rid, rok := re.ID(w)
+		if oid != rid || ook != rok {
+			t.Fatalf("ID(%q): rebuilt %d/%v, orig %d/%v", w, rid, rok, oid, ook)
+		}
+		if !ook {
+			continue
+		}
+		if re.Word(rid) != orig.Word(oid) || re.Flags(rid) != orig.Flags(oid) {
+			t.Fatalf("word/flags mismatch for %q", w)
+		}
+	}
+	// "the" must carry both membership flags after the rebuild.
+	id, _ := re.ID("the")
+	if re.Flags(id)&SymStopword == 0 || re.Flags(id)&SymDictionary == 0 {
+		t.Fatal("merged flags lost in round trip")
+	}
+}

@@ -29,8 +29,10 @@
 package wordvec
 
 import (
+	"fmt"
 	"math"
 	"sync"
+	"unsafe"
 )
 
 // prescreenEps is the safety margin of the prescreen comparison: a candidate
@@ -142,6 +144,51 @@ func (m *Matrix) Finish() {
 		}
 		m.res[r] = math.Sqrt(Dot(resid, resid))
 	}
+}
+
+// Sketch returns the finished prescreen sketch: the rows×BasisSize anchor
+// projections and the per-row residual norms (nil before Finish). The slices
+// alias the matrix; callers must treat them as read-only. Snapshot encoding
+// serializes them so a loaded matrix skips the Gram–Schmidt projection pass.
+func (m *Matrix) Sketch() (proj, res []float64) { return m.proj, m.res }
+
+// MatrixFromParts reassembles a finished Matrix from its serialized blocks:
+// the rows×Dim flattened data and the prescreen sketch produced by Sketch.
+// The slices are adopted, not copied — pass zero-copy snapshot views to get
+// an allocation-free rebuild. Shapes are validated; the sketch may be
+// omitted (both nil) for a matrix that was never finished.
+func MatrixFromParts(data, proj, res []float64) (*Matrix, error) {
+	if len(data)%Dim != 0 {
+		return nil, fmt.Errorf("wordvec: matrix data of %d floats is not a multiple of Dim=%d", len(data), Dim)
+	}
+	rows := len(data) / Dim
+	m := &Matrix{rows: rows, data: data}
+	if proj == nil && res == nil {
+		return m, nil
+	}
+	if k := BasisSize(); len(proj) != rows*k {
+		return nil, fmt.Errorf("wordvec: sketch projections %d, want %d rows × basis %d", len(proj), rows, k)
+	}
+	if len(res) != rows {
+		return nil, fmt.Errorf("wordvec: sketch residuals %d, want %d rows", len(res), rows)
+	}
+	m.proj, m.res = proj, res
+	return m, nil
+}
+
+// RowVectors reinterprets a flattened row-major block (len a multiple of
+// Dim) as a []Vector view without copying: Vector is [Dim]float64, so rows
+// and array elements share one memory layout. The view aliases data;
+// callers must treat it as read-only. Snapshot loading uses this to hand
+// the per-API []Vector slices out of one contiguous file-backed block.
+func RowVectors(data []float64) ([]Vector, error) {
+	if len(data)%Dim != 0 {
+		return nil, fmt.Errorf("wordvec: vector block of %d floats is not a multiple of Dim=%d", len(data), Dim)
+	}
+	if len(data) == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*Vector)(unsafe.Pointer(&data[0])), len(data)/Dim), nil
 }
 
 // Query is a prepared scan query: the phrase vector plus its anchor

@@ -239,3 +239,105 @@ func TestAnchorBasisOrthonormal(t *testing.T) {
 		}
 	}
 }
+
+// TestMatrixFromParts: a matrix reassembled from its serialized blocks must
+// scan identically to the original — same sketch, same prune/evaluate/match
+// decisions — and reject mis-shaped blocks.
+func TestMatrixFromParts(t *testing.T) {
+	m := NewModel()
+	vecs := phraseCorpus(m)
+	orig := NewMatrix(len(vecs))
+	for _, v := range vecs {
+		orig.Append(v)
+	}
+	orig.Finish()
+
+	proj, res := orig.Sketch()
+	if len(res) != orig.Rows() || len(proj) != orig.Rows()*BasisSize() {
+		t.Fatalf("Sketch shapes %d/%d for %d rows", len(proj), len(res), orig.Rows())
+	}
+	re, err := MatrixFromParts(orig.Data(), proj, res)
+	if err != nil {
+		t.Fatalf("MatrixFromParts: %v", err)
+	}
+	q := PrepareQuery(m.PhraseVector([]string{"receive", "email"}))
+	type hit struct {
+		row int
+		dot float64
+	}
+	scan := func(mx *Matrix) ([]hit, ScanCount) {
+		var hits []hit
+		sc := mx.ScanThresholdCount(&q, 0.3, 0, mx.Rows(), func(r int, d float64) {
+			hits = append(hits, hit{r, d})
+		})
+		return hits, sc
+	}
+	wantHits, wantSC := scan(orig)
+	gotHits, gotSC := scan(re)
+	if len(gotHits) != len(wantHits) || gotSC != wantSC {
+		t.Fatalf("rebuilt scan: %v %+v, want %v %+v", gotHits, gotSC, wantHits, wantSC)
+	}
+	for i := range wantHits {
+		if gotHits[i] != wantHits[i] {
+			t.Fatalf("hit %d: %+v != %+v", i, gotHits[i], wantHits[i])
+		}
+	}
+
+	// Sketchless rebuild: same matches, nothing pruned.
+	plain, err := MatrixFromParts(orig.Data(), nil, nil)
+	if err != nil {
+		t.Fatalf("MatrixFromParts without sketch: %v", err)
+	}
+	plainHits, plainSC := scan(plain)
+	if len(plainHits) != len(wantHits) || plainSC.Pruned != 0 {
+		t.Fatalf("sketchless scan: %v %+v", plainHits, plainSC)
+	}
+
+	// Shape validation.
+	if _, err := MatrixFromParts(orig.Data()[:Dim-1], nil, nil); err == nil {
+		t.Fatal("accepted data not a multiple of Dim")
+	}
+	if _, err := MatrixFromParts(orig.Data(), proj[:len(proj)-1], res); err == nil {
+		t.Fatal("accepted short projections")
+	}
+	if _, err := MatrixFromParts(orig.Data(), proj, res[:len(res)-1]); err == nil {
+		t.Fatal("accepted short residuals")
+	}
+}
+
+// TestMatrixFromPartsEmpty: the zero-row round trip.
+func TestMatrixFromPartsEmpty(t *testing.T) {
+	m, err := MatrixFromParts(nil, nil, nil)
+	if err != nil || m.Rows() != 0 {
+		t.Fatalf("empty rebuild: %v rows=%d", err, m.Rows())
+	}
+}
+
+// TestRowVectors: the zero-copy []Vector view matches Row contents and
+// aliases the block.
+func TestRowVectors(t *testing.T) {
+	m := NewModel()
+	vecs := phraseCorpus(m)
+	mx := NewMatrix(len(vecs))
+	for _, v := range vecs {
+		mx.Append(v)
+	}
+	view, err := RowVectors(mx.Data())
+	if err != nil {
+		t.Fatalf("RowVectors: %v", err)
+	}
+	if len(view) != mx.Rows() {
+		t.Fatalf("view rows %d, want %d", len(view), mx.Rows())
+	}
+	for i := range view {
+		if view[i] != vecs[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+	if _, err := RowVectors(mx.Data()[:Dim+1]); err == nil {
+		t.Fatal("accepted block not a multiple of Dim")
+	}
+	if v, err := RowVectors(nil); err != nil || v != nil {
+		t.Fatalf("empty block: %v %v", v, err)
+	}
+}
