@@ -5,7 +5,7 @@ GO      ?= go
 BENCHDIR ?= bench
 TOL     ?= 0.02
 
-.PHONY: ci ci-fast fmt vet build test race benchgate bench bench-all obs-smoke snapshot profile update-baselines clean
+.PHONY: ci ci-fast fmt vet build test race benchgate bench bench-all obs-smoke serve-smoke fuzz-smoke snapshot profile update-baselines clean
 
 ci:
 	./ci.sh
@@ -28,7 +28,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/...
+	$(GO) test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/... ./internal/serve/...
 
 benchgate:
 	$(GO) run ./cmd/benchgate -dir $(BENCHDIR) -tol $(TOL)
@@ -50,6 +50,20 @@ bench-all:
 # counts), and scrape the expvar/metrics/health endpoints once.
 obs-smoke:
 	$(GO) run ./cmd/obssmoke
+
+# Serving-layer smoke: boot an in-process reviewd on a free port, register
+# two compiled snapshots over HTTP, drive concurrent traffic (including one
+# injected panic), and diff every served response byte-for-byte against a
+# direct solver over the same snapshots.
+serve-smoke:
+	$(GO) run ./cmd/servesmoke
+
+# Short fuzz runs over the hostile-input surfaces: the snapshot container
+# decoder and the full snapshot loader. Both must return typed errors, never
+# panic. (The committed seed corpora live under */testdata/fuzz/.)
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 5s ./internal/snapfile
+	$(GO) test -run '^$$' -fuzz FuzzLoadSnapshotBytes -fuzztime 5s ./internal/core
 
 # Compile (and verify) the snapshot of one built-in app. Override with e.g.
 #   make snapshot SNAPAPP=org.wordpress.android SNAPOUT=wp.snap

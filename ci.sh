@@ -30,8 +30,12 @@ go build ./...
 step "go test"
 go test ./...
 
-step "go test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/..."
-go test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/...
+step "go test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/... ./internal/serve/..."
+go test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/... ./internal/serve/...
+
+step "fuzz smoke (snapfile decode + snapshot load: typed errors, no panics)"
+go test -run '^$' -fuzz FuzzOpen -fuzztime 5s ./internal/snapfile
+go test -run '^$' -fuzz FuzzLoadSnapshotBytes -fuzztime 5s ./internal/core
 
 # One temp dir holds the compiled snapshot artifact shared by the
 # determinism, benchgate and smoke steps below; removed on any exit.
@@ -56,6 +60,9 @@ diff "$SNAPDIR/direct.out" "$SNAPDIR/loaded.out"
 
 step "obs smoke (explain-trace schema, determinism, debug endpoints)"
 go run ./cmd/obssmoke
+
+step "serve smoke (reviewd daemon: registry, concurrent traffic, injected fault, byte-exact responses)"
+go run ./cmd/servesmoke
 
 step "bench smoke (kernel benchmarks, 1 iteration)"
 go test -run xxx -bench 'CosineVsDot|MatrixScan|LocalizeReview|KernelVsLegacy|CorpusThroughput' -benchtime 1x .

@@ -62,6 +62,7 @@ func run() error {
 		obsFlg = flag.Bool("obs", true, "also gate the telemetry registry snapshot (BENCH_OBS.json)")
 		frontE = flag.Bool("frontend", true, "also gate front-end allocation counts and cache hit rate (BENCH_FRONTEND.json)")
 		snapFl = flag.Bool("snapshot", true, "also gate the snapshot image structure and load equivalence (BENCH_SNAPSHOT.json)")
+		srvFlg = flag.Bool("serve", true, "also gate the serving layer: response exactness, admission counts, failure mapping, perf pins (BENCH_SERVE.json)")
 		update = flag.Bool("update", false, "rewrite the baselines from this run")
 	)
 	flag.Parse()
@@ -153,6 +154,23 @@ func run() error {
 		}
 		path := filepath.Join(*dir, "BENCH_SNAPSHOT.json")
 		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, *tol, *update, "snapshot")
+		if err != nil {
+			return err
+		}
+		if madeBaseline {
+			created++
+		}
+		if drifted {
+			failed++
+		}
+	}
+	if *srvFlg {
+		cur, err := serveSnapshot(*seed)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, "BENCH_SERVE.json")
+		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, *tol, *update, "serve   ")
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,309 @@
+// Command servesmoke is the CI smoke test for the serving layer: it boots a
+// real reviewd daemon (in-process, on a free port), registers two compiled
+// .snap apps over HTTP, drives concurrent localization traffic — including
+// one injected fault — and verifies:
+//
+//   - every served single-review response is byte-for-byte identical to the
+//     output of a direct in-process solver over the same snapshot (the
+//     "serving adds nothing, loses nothing" property);
+//   - batch responses preserve request order and complete under concurrency;
+//   - exactly one injected panic is contained as a 500 while the daemon
+//     keeps serving;
+//   - the /metrics exposition carries the serving counters with the exact
+//     expected totals;
+//   - graceful shutdown drains cleanly.
+//
+// Any deviation exits non-zero. Everything is offline and deterministic.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"reviewsolver/internal/core"
+	"reviewsolver/internal/obs"
+	"reviewsolver/internal/serve"
+	"reviewsolver/internal/serve/faultinject"
+	"reviewsolver/internal/synth"
+)
+
+const seed = 1
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("SERVE SMOKE PASS")
+}
+
+func run() error {
+	// Compile two of the built-in evaluation apps to .snap files.
+	table6 := synth.GenerateTable6(seed)
+	appA, appB := table6[4], table6[0] // the K-9 sample fixture + one more
+	dir, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	paths := map[string]string{}
+	for _, data := range []*synth.AppData{appA, appB} {
+		img, err := core.EncodeSnapshot(core.NewSnapshot(), data.App)
+		if err != nil {
+			return fmt.Errorf("encode %s: %w", data.Info.Package, err)
+		}
+		p := filepath.Join(dir, data.Info.Package+".snap")
+		if err := os.WriteFile(p, img, 0o644); err != nil {
+			return err
+		}
+		paths[data.Info.Package] = p
+	}
+
+	// Boot the daemon with a fault injector armed for exactly one panic.
+	met := obs.NewRegistry()
+	inj := faultinject.New()
+	inj.Arm(faultinject.PointRequest, faultinject.Fault{
+		Err: faultinject.ErrPanic, Count: 1, Key: appB.Info.Package,
+	})
+	d := serve.NewDaemon(serve.Config{Metrics: met, Injector: inj})
+	if err := d.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	base := "http://" + d.Addr()
+
+	// Register both apps through the HTTP surface, like an operator would.
+	for pkg, p := range paths {
+		status, body, err := post(base+"/v1/apps", serve.RegisterRequest{App: pkg, Version: "v1", Path: p})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("register %s = %d: %s", pkg, status, body)
+		}
+	}
+
+	// Expected bytes for each single-review request, computed by a direct
+	// solver over the same snapshot images the daemon serves.
+	expected := map[string]map[string][]byte{} // pkg → review → response bytes
+	for _, data := range []*synth.AppData{appA, appB} {
+		img, err := os.ReadFile(paths[data.Info.Package])
+		if err != nil {
+			return err
+		}
+		snap, app, err := core.LoadSnapshotBytes(img)
+		if err != nil {
+			return fmt.Errorf("direct load %s: %w", data.Info.Package, err)
+		}
+		solver := core.NewWithSnapshot(snap)
+		byReview := map[string][]byte{}
+		for _, rv := range data.Reviews[:smokeReviews(data)] {
+			res := solver.LocalizeReview(app, rv.Text, rv.PublishedAt)
+			resp := serve.LocalizeResponse{
+				App:     data.Info.Package,
+				Version: "v1",
+				Results: []serve.LocalizeResult{serve.ResultToJSON(rv.Text, res)},
+			}
+			b, err := json.Marshal(resp)
+			if err != nil {
+				return err
+			}
+			byReview[rv.Text] = append(b, '\n')
+		}
+		expected[data.Info.Package] = byReview
+	}
+
+	// Concurrent load across both apps. The armed fault panics exactly one
+	// appB request; everything else must serve 200 with exact bytes.
+	type outcome struct {
+		pkg, review string
+		status      int
+		body        []byte
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []outcome
+	)
+	for _, data := range []*synth.AppData{appA, appB} {
+		pkg := data.Info.Package
+		for _, rv := range data.Reviews[:smokeReviews(data)] {
+			wg.Add(1)
+			go func(review string, when time.Time) {
+				defer wg.Done()
+				status, body, err := post(base+"/v1/localize", serve.LocalizeRequest{
+					App: pkg, Review: review, PublishedAt: when.Format(time.RFC3339),
+				})
+				if err != nil {
+					status = -1
+					body = []byte(err.Error())
+				}
+				mu.Lock()
+				results = append(results, outcome{pkg, review, status, body})
+				mu.Unlock()
+			}(rv.Text, rv.PublishedAt)
+		}
+	}
+	wg.Wait()
+
+	var contained int
+	for _, r := range results {
+		switch r.status {
+		case http.StatusOK:
+			want := expected[r.pkg][r.review]
+			if !bytes.Equal(r.body, want) {
+				return fmt.Errorf("served response for %s/%q differs from the direct solver:\n got: %s\nwant: %s",
+					r.pkg, r.review, r.body, want)
+			}
+		case http.StatusInternalServerError:
+			contained++
+			if r.pkg != appB.Info.Package {
+				return fmt.Errorf("injected fault fired on %s, was keyed to %s", r.pkg, appB.Info.Package)
+			}
+		default:
+			return fmt.Errorf("localize %s/%q = %d: %s", r.pkg, r.review, r.status, r.body)
+		}
+	}
+	if contained != 1 {
+		return fmt.Errorf("%d requests hit the injected panic, want exactly 1", contained)
+	}
+
+	// One failed request must not poison retries: the same review that
+	// absorbed the panic serves fine now.
+	for _, r := range results {
+		if r.status != http.StatusInternalServerError {
+			continue
+		}
+		status, body, err := post(base+"/v1/localize", serve.LocalizeRequest{App: r.pkg, Review: r.review})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("retry after contained panic = %d: %s", status, body)
+		}
+	}
+
+	// Batch request: order preserved, all results present.
+	n := smokeReviews(appA)
+	batch := make([]serve.BatchReview, n)
+	for i := 0; i < n; i++ {
+		batch[i] = serve.BatchReview{
+			Review:      appA.Reviews[i].Text,
+			PublishedAt: appA.Reviews[i].PublishedAt.Format(time.RFC3339),
+		}
+	}
+	status, body, err := post(base+"/v1/localize", serve.LocalizeRequest{App: appA.Info.Package, Reviews: batch})
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("batch = %d: %s", status, body)
+	}
+	var batchResp serve.LocalizeResponse
+	if err := json.Unmarshal(body, &batchResp); err != nil {
+		return err
+	}
+	if len(batchResp.Results) != n {
+		return fmt.Errorf("batch returned %d results, want %d", len(batchResp.Results), n)
+	}
+	for i, res := range batchResp.Results {
+		if res.Review != batch[i].Review {
+			return fmt.Errorf("batch result %d out of order: %q", i, res.Review)
+		}
+	}
+
+	// Metrics scrape: the serving counters are present with exact totals.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	wantSingles := smokeReviews(appA) + smokeReviews(appB) + 1 // + the retry
+	wantReviews := wantSingles - 1 + n                         // panic answered no review; batch adds n
+	for _, line := range []string{
+		"counter serve_panics_total 1",
+		fmt.Sprintf("counter serve_reviews_served_total %d", wantReviews),
+		"counter serve_snapshot_loads_total 2",
+	} {
+		if !strings.Contains(string(metrics), line) {
+			return fmt.Errorf("metrics exposition missing %q:\n%s", line, metrics)
+		}
+	}
+
+	// Registry listing agrees: two live apps.
+	status, body, err = get(base + "/v1/apps")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("apps = %d", status)
+	}
+	var apps serve.AppsResponse
+	if err := json.Unmarshal(body, &apps); err != nil {
+		return err
+	}
+	live := 0
+	for _, st := range apps.Apps {
+		if st.State == "live" {
+			live++
+		}
+	}
+	if live != 2 || apps.ResidentBytes <= 0 {
+		return fmt.Errorf("apps listing: %d live, %d resident bytes; want 2 live and > 0 bytes", live, apps.ResidentBytes)
+	}
+
+	// Drop the client's pooled keep-alive connections (including ones the
+	// transport dialed speculatively and never used — the server holds those
+	// in StateNew, where http.Server.Shutdown won't reap them for their
+	// first 5 seconds) so the drain below measures the daemon, not the
+	// client's connection pool.
+	http.DefaultClient.CloseIdleConnections()
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("graceful shutdown: %w", err)
+	}
+	return nil
+}
+
+// smokeReviews bounds per-app request volume so the smoke finishes fast.
+func smokeReviews(data *synth.AppData) int {
+	if len(data.Reviews) < 8 {
+		return len(data.Reviews)
+	}
+	return 8
+}
+
+func post(url string, payload any) (int, []byte, error) {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+func get(url string) (int, []byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}

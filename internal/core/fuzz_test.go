@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"reviewsolver/internal/snapfile"
+	"reviewsolver/internal/synth"
+)
+
+// typedLoadError reports whether a LoadSnapshotBytes failure is one of the
+// documented typed errors: a snapfile container error or the core-level
+// incompatibility sentinel. Anything else is a contract violation.
+func typedLoadError(err error) bool {
+	for _, want := range []error{
+		snapfile.ErrBadMagic, snapfile.ErrVersion, snapfile.ErrTruncated,
+		snapfile.ErrChecksum, snapfile.ErrMisaligned, snapfile.ErrCorrupt,
+		ErrSnapshotIncompatible,
+	} {
+		if errors.Is(err, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzLoadSnapshotBytes: hostile snapshot images must never panic the
+// loader, and every rejection must be a typed error — the property the
+// serving registry's quarantine path relies on.
+func FuzzLoadSnapshotBytes(f *testing.F) {
+	img, err := EncodeSnapshot(NewSnapshot(), synth.GenerateSample(1).App)
+	if err != nil {
+		f.Fatalf("encode seed snapshot: %v", err)
+	}
+	for _, seed := range loadFuzzSeedVariants(img) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, app, err := LoadSnapshotBytes(data)
+		if err != nil {
+			if !typedLoadError(err) {
+				t.Fatalf("LoadSnapshotBytes returned an untyped error: %v", err)
+			}
+			return
+		}
+		if snap == nil || app == nil {
+			t.Fatal("LoadSnapshotBytes returned nil snapshot/app without error")
+		}
+		// A loaded snapshot must be servable: building a solver view over it
+		// cannot panic either.
+		if s := NewWithSnapshot(snap); s == nil {
+			t.Fatal("NewWithSnapshot returned nil for a loaded snapshot")
+		}
+	})
+}
+
+// loadFuzzSeedVariants mutates a valid snapshot image toward the loader's
+// validation branches: container-level corruption plus section payload
+// damage that only the schema decoder can catch.
+func loadFuzzSeedVariants(img []byte) [][]byte {
+	flip := func(i int) []byte {
+		m := append([]byte(nil), img...)
+		m[i] ^= 0xFF
+		return m
+	}
+	badVersion := append([]byte(nil), img...)
+	binary.LittleEndian.PutUint32(badVersion[8:], snapfile.Version+1)
+	return [][]byte{
+		img,
+		nil,
+		img[:16],
+		img[:len(img)/2],
+		flip(0),
+		flip(len(img) / 2),
+		flip(len(img) - 1),
+		badVersion,
+	}
+}
+
+// TestWriteLoadFuzzSeeds regenerates the committed seed corpus under
+// testdata/fuzz/FuzzLoadSnapshotBytes (same gate as the snapfile one):
+//
+//	REVIEWSOLVER_WRITE_FUZZ_SEEDS=1 go test -run TestWriteLoadFuzzSeeds ./internal/core
+func TestWriteLoadFuzzSeeds(t *testing.T) {
+	if os.Getenv("REVIEWSOLVER_WRITE_FUZZ_SEEDS") == "" {
+		t.Skip("set REVIEWSOLVER_WRITE_FUZZ_SEEDS=1 to regenerate the seed corpus")
+	}
+	img, err := EncodeSnapshot(NewSnapshot(), synth.GenerateSample(1).App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzLoadSnapshotBytes")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range loadFuzzSeedVariants(img) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -146,10 +147,22 @@ type CorpusResult struct {
 // the bounded dones channel) — so corpora far larger than RAM can stream
 // through. The returned channel is closed after the last result.
 func (p *Pool) LocalizeCorpus(app *apk.App, reviews <-chan ReviewInput) <-chan CorpusResult {
+	return p.LocalizeCorpusContext(context.Background(), app, reviews)
+}
+
+// LocalizeCorpusContext is LocalizeCorpus under a context. When ctx ends,
+// the stream shuts down promptly: the feeder stops reading reviews, every
+// worker exits after (at most) the review it is currently localizing, and
+// the output channel closes — even if the consumer has walked away and no
+// longer drains it. No goroutine outlives the cancellation (property-tested
+// in pool_ctx_test.go). With an uncancelled context the emitted results are
+// exactly those of LocalizeCorpus.
+func (p *Pool) LocalizeCorpusContext(ctx context.Context, app *apk.App, reviews <-chan ReviewInput) <-chan CorpusResult {
 	out := make(chan CorpusResult, p.workers)
 	rec := p.solver.rec
 	queued := rec.Gauge(metricPoolQueueDepth)
 	busy := rec.Gauge(metricPoolBusy)
+	done := ctx.Done()
 
 	type job struct {
 		index  int
@@ -168,27 +181,54 @@ func (p *Pool) LocalizeCorpus(app *apk.App, reviews <-chan ReviewInput) <-chan C
 				busy.Add(1)
 				res := p.solver.LocalizeReview(app, j.review.Text, j.review.PublishedAt)
 				busy.Add(-1)
-				dones <- CorpusResult{Index: j.index, Result: res}
+				// The dones buffer can be full if the reorderer already
+				// quit on cancellation; never block past ctx.
+				select {
+				case dones <- CorpusResult{Index: j.index, Result: res}:
+				case <-done:
+					return
+				}
 			}
 		}()
 	}
 
-	// Feeder: assign input-order indices as reviews arrive.
+	// Feeder: assign input-order indices as reviews arrive, bailing out as
+	// soon as ctx ends (both while waiting for input and while handing a
+	// job to a busy worker set).
 	go func() {
-		i := 0
-		for r := range reviews {
+	feed:
+		for i := 0; ; i++ {
+			var (
+				r  ReviewInput
+				ok bool
+			)
+			select {
+			case r, ok = <-reviews:
+				if !ok {
+					break feed
+				}
+			case <-done:
+				break feed
+			}
 			rec.Counter(metricPoolJobs).Add(1)
 			queued.Add(1)
-			jobs <- job{index: i, review: r}
-			i++
+			select {
+			case jobs <- job{index: i, review: r}:
+			case <-done:
+				queued.Add(-1)
+				break feed
+			}
 		}
 		close(jobs)
 		wg.Wait()
 		close(dones)
 	}()
 
-	// Reorderer: emit completed results in input order.
+	// Reorderer: emit completed results in input order. On cancellation it
+	// stops emitting and returns; the workers cannot deadlock behind it
+	// because their dones sends also select on ctx.
 	go func() {
+		defer close(out)
 		pending := make(map[int]CorpusResult, 2*p.workers)
 		next := 0
 		for cr := range dones {
@@ -198,13 +238,16 @@ func (p *Pool) LocalizeCorpus(app *apk.App, reviews <-chan ReviewInput) <-chan C
 				if !ok {
 					break
 				}
+				select {
+				case out <- ready:
+				case <-done:
+					return
+				}
 				delete(pending, next)
-				out <- ready
 				next++
 			}
 		}
 		p.solver.publishFrontendGauges()
-		close(out)
 	}()
 	return out
 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// drainInputs feeds the reviews into a channel until ctx ends, looping the
+// corpus forever — an "infinite" producer for cancellation tests.
+func feedForever(ctx context.Context, inputs []ReviewInput) <-chan ReviewInput {
+	in := make(chan ReviewInput)
+	go func() {
+		defer close(in)
+		for {
+			for _, r := range inputs {
+				select {
+				case in <- r:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return in
+}
+
+// TestLocalizeCorpusContextMatchesLocalize is the identity property: with an
+// uncancelled context the streamed results are byte-identical (mappings and
+// rankings) to the batch Localize path, in input order.
+func TestLocalizeCorpusContextMatchesLocalize(t *testing.T) {
+	apps, inputs := poolInputs(40)
+	app := apps[0].App
+	pool := NewPool(4)
+	want := pool.Localize(app, inputs)
+
+	in := make(chan ReviewInput, len(inputs))
+	for _, r := range inputs {
+		in <- r
+	}
+	close(in)
+	next := 0
+	for cr := range pool.LocalizeCorpusContext(context.Background(), app, in) {
+		if cr.Index != next {
+			t.Fatalf("result %d arrived out of order (index %d)", next, cr.Index)
+		}
+		if !reflect.DeepEqual(cr.Result.Mappings, want[next].Mappings) ||
+			!reflect.DeepEqual(cr.Result.Ranked, want[next].Ranked) {
+			t.Fatalf("review %d: streamed result differs from batch result", next)
+		}
+		next++
+	}
+	if next != len(inputs) {
+		t.Fatalf("stream emitted %d results, want %d", next, len(inputs))
+	}
+}
+
+// TestLocalizeCorpusContextCancelLeaksNothing is the leak property:
+// cancelling mid-stream — including with a consumer that stops reading —
+// terminates the feeder, every worker, and the reorderer. The goroutine
+// count returns to its pre-stream level.
+func TestLocalizeCorpusContextCancelLeaksNothing(t *testing.T) {
+	apps, inputs := poolInputs(8)
+	app := apps[0].App
+	pool := NewPool(4)
+	// Warm the snapshot so the measured section is steady state.
+	pool.Localize(app, inputs[:1])
+
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		out := pool.LocalizeCorpusContext(ctx, app, feedForever(ctx, inputs))
+		// Read a few results, then walk away without draining.
+		for i := 0; i < 3; i++ {
+			if _, ok := <-out; !ok {
+				t.Fatalf("round %d: stream closed after %d results", round, i)
+			}
+		}
+		cancel()
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestLocalizeCorpusContextCancelClosesOutput: after cancellation the output
+// channel closes even if no consumer drains it first.
+func TestLocalizeCorpusContextCancelClosesOutput(t *testing.T) {
+	apps, inputs := poolInputs(8)
+	app := apps[0].App
+	pool := NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	out := pool.LocalizeCorpusContext(ctx, app, feedForever(ctx, inputs))
+	<-out
+	cancel()
+	timeout := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				return
+			}
+		case <-timeout:
+			t.Fatal("output channel never closed after cancellation")
+		}
+	}
+}

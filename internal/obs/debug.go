@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // DebugServer is the -debug-addr HTTP endpoint: expvar at /debug/vars,
@@ -48,10 +50,33 @@ func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
 // Addr returns the bound address (useful with ":0").
 func (ds *DebugServer) Addr() string { return ds.ln.Addr().String() }
 
-// Close shuts the server down immediately.
+// debugDrainTimeout bounds how long Close waits for in-flight scrapes. A
+// metrics exposition or pprof index renders in microseconds; anything still
+// running after this is a long profile capture, which Close abandons.
+const debugDrainTimeout = 2 * time.Second
+
+// Close shuts the server down gracefully: in-flight scrapes drain for up
+// to debugDrainTimeout before remaining connections are cut.
 func (ds *DebugServer) Close() error {
 	if ds == nil {
 		return nil
 	}
-	return ds.srv.Close()
+	return ShutdownHTTP(ds.srv, debugDrainTimeout)
+}
+
+// ShutdownHTTP drains an http.Server under a deadline: Shutdown stops the
+// listener and waits for in-flight requests; if any outlast the timeout,
+// the server is closed abruptly. Shared by the debug server and reviewd so
+// every HTTP surface in the system drains the same way.
+func ShutdownHTTP(srv *http.Server, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		closeErr := srv.Close()
+		if closeErr != nil {
+			return closeErr
+		}
+		return err
+	}
+	return nil
 }

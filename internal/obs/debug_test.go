@@ -2,9 +2,11 @@ package obs
 
 import (
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestDebugServerEndpoints(t *testing.T) {
@@ -52,5 +54,82 @@ func TestDebugServerNilClose(t *testing.T) {
 	var ds *DebugServer
 	if err := ds.Close(); err != nil {
 		t.Errorf("nil Close() = %v", err)
+	}
+}
+
+// TestShutdownHTTPDrainsInflight: a request in flight when shutdown begins
+// completes (the scrape is not cut mid-body), and ShutdownHTTP reports a
+// clean drain.
+func TestShutdownHTTPDrainsInflight(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-gate
+		io.WriteString(w, "drained")
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	body := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String())
+		if err != nil {
+			body <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		body <- string(b)
+	}()
+	<-started
+
+	done := make(chan error, 1)
+	go func() { done <- ShutdownHTTP(srv, 5*time.Second) }()
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("ShutdownHTTP = %v, want clean drain", err)
+	}
+	if got := <-body; got != "drained" {
+		t.Fatalf("in-flight request body = %q, want %q", got, "drained")
+	}
+}
+
+// TestShutdownHTTPTimeoutForcesClose: a request that outlasts the drain
+// deadline does not hang shutdown — the server closes abruptly and
+// ShutdownHTTP returns the deadline error.
+func TestShutdownHTTPTimeoutForcesClose(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	defer close(gate)
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		close(started)
+		<-gate
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String())
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+
+	done := make(chan error, 1)
+	go func() { done <- ShutdownHTTP(srv, 50*time.Millisecond) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("ShutdownHTTP = nil, want deadline error for a stuck request")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ShutdownHTTP hung past its drain deadline")
 	}
 }

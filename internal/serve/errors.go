@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// The serving failure taxonomy. Every way a request can fail maps to
+// exactly one typed error here, and every typed error maps to exactly one
+// HTTP status (see StatusFor) and one stable machine-readable kind (see
+// KindFor) — chaos tests and clients match on these, never on message
+// strings. The daemon turns panics into ErrInternal; it never dies.
+var (
+	// ErrUnknownApp: no snapshot registered under the requested app (or
+	// app@version). 404.
+	ErrUnknownApp = errors.New("serve: unknown app")
+	// ErrQueueFull: the app's admission queue is at capacity; the request
+	// was shed without queuing. 429 with Retry-After.
+	ErrQueueFull = errors.New("serve: request queue full")
+	// ErrQuarantined: the snapshot failed its last load (corrupt or
+	// incompatible) and the re-probe backoff has not elapsed. 503 with
+	// Retry-After.
+	ErrQuarantined = errors.New("serve: snapshot quarantined")
+	// ErrSnapshotLoad: this request probed the snapshot and the load
+	// failed; the entry is now quarantined. 503.
+	ErrSnapshotLoad = errors.New("serve: snapshot load failed")
+	// ErrDeadline: the request's deadline expired (or the client went
+	// away) while queued, loading, or mid-request. 504.
+	ErrDeadline = errors.New("serve: request deadline exceeded")
+	// ErrShutdown: the daemon is draining and no longer admits requests.
+	// 503.
+	ErrShutdown = errors.New("serve: shutting down")
+	// ErrInternal: a request panicked (recovered) or failed in an
+	// unclassified way. 500.
+	ErrInternal = errors.New("serve: internal error")
+	// ErrBadRequest: the request body or parameters did not parse. 400.
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// StatusFor maps a typed serving error to its HTTP status code.
+func StatusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrUnknownApp):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrQuarantined), errors.Is(err, ErrSnapshotLoad), errors.Is(err, ErrShutdown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// KindFor maps a typed serving error to the stable "kind" string carried in
+// error response bodies.
+func KindFor(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrUnknownApp):
+		return "unknown_app"
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, ErrQuarantined):
+		return "quarantined"
+	case errors.Is(err, ErrSnapshotLoad):
+		return "load_failed"
+	case errors.Is(err, ErrShutdown):
+		return "shutting_down"
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "deadline"
+	case errors.Is(err, ErrBadRequest):
+		return "bad_request"
+	default:
+		return "internal"
+	}
+}

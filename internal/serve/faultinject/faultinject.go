@@ -1,0 +1,164 @@
+// Package faultinject is the deterministic fault-injection harness behind
+// reviewd's chaos tests. An Injector holds armed faults keyed by (point,
+// key); production code calls Fire at well-known points (snapshot load,
+// request execution) and the injector either passes through (no fault
+// armed — the default, nil-safe), delays, blocks until released, or returns
+// an injected error.
+//
+// Everything is explicit and repeatable: faults fire a configured number of
+// times in arm order, there is no randomness, and blocking faults are
+// released by the test through a channel — so a chaos scenario (slow load
+// while the queue saturates, cancellation mid-request, a corrupt snapshot
+// appearing on re-register) plays out the same way on every run.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrPanic is a sentinel fault error: a fire site that sees it panics
+// instead of returning, so chaos tests can prove the panic-recovery
+// middleware contains a crashing request deterministically.
+var ErrPanic = errors.New("faultinject: panic")
+
+// Point names a fault-injection site in the serving path.
+type Point string
+
+const (
+	// PointSnapshotLoad fires inside the registry's singleflight loader,
+	// before the real snapfile open. Key: the registry entry key
+	// ("app@version").
+	PointSnapshotLoad Point = "snapshot_load"
+	// PointRequest fires in the request handler after admission, while the
+	// request holds an execution slot. Key: the app package.
+	PointRequest Point = "request"
+)
+
+// Fault describes one injected behaviour. Zero-value fields are inert; a
+// fault can combine a delay or block with an error (the wait happens first,
+// then the error is returned).
+type Fault struct {
+	// Err is returned from Fire after any wait, simulating the failure
+	// (e.g. a corrupt snapshot: wrap snapfile.ErrChecksum).
+	Err error
+	// Delay pauses Fire for the duration (or until the caller's context is
+	// done, whichever is first) — the "slow load" fault.
+	Delay time.Duration
+	// Block pauses Fire until the channel is closed (or the caller's
+	// context is done). Tests use it to hold requests in flight and
+	// saturate queues at a deterministic instant.
+	Block <-chan struct{}
+	// Count is how many Fire calls consume this fault; 0 means unlimited.
+	Count int
+	// Key restricts the fault to one Fire key; empty matches every key at
+	// the point.
+	Key string
+}
+
+// armed is one live fault with its remaining-fire budget.
+type armed struct {
+	fault     Fault
+	remaining int // <0 = unlimited
+}
+
+// Injector holds the armed faults. The zero value and nil are valid
+// injectors that never fire.
+type Injector struct {
+	mu     sync.Mutex
+	faults map[Point][]*armed
+	fired  map[Point]int
+}
+
+// New returns an empty injector.
+func New() *Injector {
+	return &Injector{faults: make(map[Point][]*armed), fired: make(map[Point]int)}
+}
+
+// Arm registers a fault at a point. Faults at the same point are consumed
+// in arm order: Fire picks the first non-exhausted fault whose key matches.
+func (in *Injector) Arm(p Point, f Fault) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	rem := f.Count
+	if rem == 0 {
+		rem = -1
+	}
+	in.faults[p] = append(in.faults[p], &armed{fault: f, remaining: rem})
+}
+
+// Disarm clears every fault at a point.
+func (in *Injector) Disarm(p Point) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.faults, p)
+}
+
+// Fired reports how many faults have fired at a point — chaos tests assert
+// exact counts against it.
+func (in *Injector) Fired(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[p]
+}
+
+// Fire applies the first matching armed fault at the point: wait out its
+// delay/block (abandoning the wait with ctx.Err() if the context ends
+// first), then return its error. With no matching fault armed it returns
+// nil immediately. Nil-safe on a nil injector.
+func (in *Injector) Fire(ctx context.Context, p Point, key string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	var hit *armed
+	for _, a := range in.faults[p] {
+		if a.remaining == 0 {
+			continue
+		}
+		if a.fault.Key != "" && a.fault.Key != key {
+			continue
+		}
+		hit = a
+		break
+	}
+	if hit == nil {
+		in.mu.Unlock()
+		return nil
+	}
+	if hit.remaining > 0 {
+		hit.remaining--
+	}
+	in.fired[p]++
+	f := hit.fault
+	in.mu.Unlock()
+
+	if f.Delay > 0 {
+		t := time.NewTimer(f.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	if f.Block != nil {
+		select {
+		case <-f.Block:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return f.Err
+}

@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilAndEmptyInjectorPassThrough(t *testing.T) {
+	var nilInj *Injector
+	if err := nilInj.Fire(context.Background(), PointRequest, "x"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	nilInj.Arm(PointRequest, Fault{Err: errors.New("boom")}) // must not panic
+	if got := nilInj.Fired(PointRequest); got != 0 {
+		t.Fatalf("nil injector Fired = %d", got)
+	}
+	if err := New().Fire(context.Background(), PointSnapshotLoad, "a@v1"); err != nil {
+		t.Fatalf("empty injector fired: %v", err)
+	}
+}
+
+func TestFireCountAndKeyMatching(t *testing.T) {
+	boom := errors.New("boom")
+	in := New()
+	in.Arm(PointSnapshotLoad, Fault{Err: boom, Count: 2, Key: "a@v1"})
+
+	ctx := context.Background()
+	if err := in.Fire(ctx, PointSnapshotLoad, "b@v1"); err != nil {
+		t.Fatalf("key mismatch still fired: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := in.Fire(ctx, PointSnapshotLoad, "a@v1"); !errors.Is(err, boom) {
+			t.Fatalf("fire %d = %v, want boom", i, err)
+		}
+	}
+	if err := in.Fire(ctx, PointSnapshotLoad, "a@v1"); err != nil {
+		t.Fatalf("exhausted fault still fired: %v", err)
+	}
+	if got := in.Fired(PointSnapshotLoad); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestArmOrderAndDisarm(t *testing.T) {
+	first, second := errors.New("first"), errors.New("second")
+	in := New()
+	in.Arm(PointRequest, Fault{Err: first, Count: 1})
+	in.Arm(PointRequest, Fault{Err: second, Count: 1})
+
+	ctx := context.Background()
+	if err := in.Fire(ctx, PointRequest, "any"); !errors.Is(err, first) {
+		t.Fatalf("first fire = %v", err)
+	}
+	if err := in.Fire(ctx, PointRequest, "any"); !errors.Is(err, second) {
+		t.Fatalf("second fire = %v", err)
+	}
+	in.Arm(PointRequest, Fault{Err: first})
+	in.Disarm(PointRequest)
+	if err := in.Fire(ctx, PointRequest, "any"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestBlockReleasedByClose(t *testing.T) {
+	gate := make(chan struct{})
+	in := New()
+	in.Arm(PointRequest, Fault{Block: gate, Count: 1})
+
+	done := make(chan error, 1)
+	go func() { done <- in.Fire(context.Background(), PointRequest, "app") }()
+	select {
+	case err := <-done:
+		t.Fatalf("blocked fault returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("released block returned %v", err)
+	}
+}
+
+func TestBlockAbandonedOnContextCancel(t *testing.T) {
+	in := New()
+	in.Arm(PointRequest, Fault{Block: make(chan struct{}), Count: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.Fire(ctx, PointRequest, "app") }()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled block = %v, want context.Canceled", err)
+	}
+}
+
+func TestDelayRespectsContextDeadline(t *testing.T) {
+	in := New()
+	in.Arm(PointSnapshotLoad, Fault{Delay: time.Minute, Count: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	started := time.Now()
+	err := in.Fire(ctx, PointSnapshotLoad, "slow@v1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slow fire = %v, want deadline exceeded", err)
+	}
+	if time.Since(started) > 5*time.Second {
+		t.Fatal("delay ignored the context deadline")
+	}
+}
