@@ -597,3 +597,52 @@ func BenchmarkMatrixScan(b *testing.B) {
 		sinkFloat = float64(n)
 	})
 }
+
+// benchFleetMatrices builds the fleet-scale candidate corpus (~100× the
+// framework catalog's row count) twice over the same flattened data: once
+// with only the float sketch and once with the quantized tier, so the two
+// scan paths read identical rows.
+func benchFleetMatrices(apps int) (*wordvec.Model, *wordvec.Matrix, *wordvec.Matrix) {
+	m := wordvec.NewModel()
+	phrases := synth.FleetPhrases(1, apps)
+	mat := wordvec.NewMatrix(len(phrases))
+	for _, p := range phrases {
+		mat.Append(m.PhraseVector(p))
+	}
+	mat.Finish()
+	proj, res := mat.Sketch()
+	qmat, err := wordvec.MatrixFromParts(mat.Data(), proj, res)
+	if err != nil {
+		panic(err)
+	}
+	if !qmat.EnsureQuant() {
+		panic("fleet matrix under the quantization gate")
+	}
+	return m, mat, qmat
+}
+
+// BenchmarkFleetScan scans one query phrase against the fleet-scale
+// candidate matrix: the float sketch prescreen versus the quantized tier
+// (inverted-file cluster bounds + integer code bounds + exact rescoring).
+// Both paths yield byte-identical matches; the ratio of their ns/op is the
+// quantized tier's speedup, recorded in bench/KERNEL_NOTES.md.
+func BenchmarkFleetScan(b *testing.B) {
+	m, mat, qmat := benchFleetMatrices(350)
+	qv := m.PhraseVector([]string{"send", "text"})
+	q := wordvec.PrepareQuery(qv)
+	threshold := m.Threshold()
+	b.Run("PrescreenScan", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			mat.ScanThreshold(&q, threshold, 0, mat.Rows(), func(int, float64) { n++ })
+		}
+		sinkFloat = float64(n)
+	})
+	b.Run("QuantScan", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			qmat.ScanThreshold(&q, threshold, 0, qmat.Rows(), func(int, float64) { n++ })
+		}
+		sinkFloat = float64(n)
+	})
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"reviewsolver/internal/synth"
+)
+
+// TestQuantizedScanMatchesKernelAndLegacy is the quantized tier's
+// full-pipeline property test: with the tier forced onto every matrix, the
+// localization output must be byte-identical to both the float kernel and
+// the retired per-struct cosine path, across seeds and inner parallelism.
+func TestQuantizedScanMatchesKernelAndLegacy(t *testing.T) {
+	for _, seed := range []int64{3, 5, 7, 9, 21} {
+		data := synth.GenerateSample(seed)
+		app := data.App
+		reviews := data.Reviews
+		if len(reviews) > 15 {
+			reviews = reviews[:15]
+		}
+		for _, workers := range []int{1, 4} {
+			kernel := New(WithParallelism(workers))
+			legacy := New(WithLegacyCosine(), WithParallelism(workers))
+			quant := New(WithQuantizedScan(), WithParallelism(workers))
+			for i, rv := range reviews {
+				want := kernel.LocalizeReview(app, rv.Text, rv.PublishedAt)
+				lw := legacy.LocalizeReview(app, rv.Text, rv.PublishedAt)
+				got := quant.LocalizeReview(app, rv.Text, rv.PublishedAt)
+				if !reflect.DeepEqual(got.Mappings, want.Mappings) || !reflect.DeepEqual(got.Ranked, want.Ranked) {
+					t.Fatalf("seed %d workers %d review %d: quantized output differs from float kernel", seed, workers, i)
+				}
+				if !reflect.DeepEqual(got.Mappings, lw.Mappings) || !reflect.DeepEqual(got.Ranked, lw.Ranked) {
+					t.Fatalf("seed %d workers %d review %d: quantized output differs from legacy cosine", seed, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizedSnapshotColdWarm: a forced-quantized snapshot must encode the
+// tier, reload it byte-identically (warm load adopts the persisted blocks),
+// and serve the same localization output as the freshly built solver — and a
+// snapshot encoded *without* the tier must still load under
+// WithQuantizedScan by quantizing lazily (cold path).
+func TestQuantizedSnapshotColdWarm(t *testing.T) {
+	data := synth.GenerateSample(5)
+	app := data.App
+	reviews := data.Reviews
+	if len(reviews) > 10 {
+		reviews = reviews[:10]
+	}
+
+	want := make([]*Result, len(reviews))
+	base := New()
+	for i, rv := range reviews {
+		want[i] = base.LocalizeReview(app, rv.Text, rv.PublishedAt)
+	}
+
+	check := func(t *testing.T, s *Solver, label string) {
+		t.Helper()
+		for i, rv := range reviews {
+			got := s.LocalizeReview(app, rv.Text, rv.PublishedAt)
+			if !reflect.DeepEqual(got.Mappings, want[i].Mappings) || !reflect.DeepEqual(got.Ranked, want[i].Ranked) {
+				t.Fatalf("%s review %d: output differs from float baseline", label, i)
+			}
+		}
+	}
+
+	// Warm: the tier is persisted in the image and adopted on load.
+	qsn := NewSnapshot(WithQuantizedScan())
+	img, err := EncodeSnapshot(qsn, app)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot(quantized): %v", err)
+	}
+	loaded, lapp, err := LoadSnapshotBytes(img, WithQuantizedScan())
+	if err != nil {
+		t.Fatalf("LoadSnapshotBytes(quantized): %v", err)
+	}
+	if loaded.QuantBytes() <= 0 {
+		t.Fatal("warm-loaded quantized snapshot reports no tier bytes")
+	}
+	check(t, NewWithSnapshot(loaded, WithQuantizedScan(), WithParallelism(4)), "warm quantized snapshot")
+
+	// Re-encoding the loaded snapshot must reproduce the image bit for bit.
+	reImg, err := EncodeSnapshot(loaded, lapp)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(reImg) != string(img) {
+		t.Fatal("quantized snapshot save→load→save is not byte-identical")
+	}
+
+	// Cold: a float-only image loaded under WithQuantizedScan quantizes on
+	// load and must serve identically.
+	plainImg, err := EncodeSnapshot(NewSnapshot(), app)
+	if err != nil {
+		t.Fatalf("EncodeSnapshot(plain): %v", err)
+	}
+	if len(plainImg) >= len(img) {
+		t.Fatalf("quantized image (%d bytes) not larger than plain image (%d bytes)", len(img), len(plainImg))
+	}
+	cold, _, err := LoadSnapshotBytes(plainImg, WithQuantizedScan())
+	if err != nil {
+		t.Fatalf("LoadSnapshotBytes(plain, quantized opts): %v", err)
+	}
+	if cold.QuantBytes() <= 0 {
+		t.Fatal("cold load under WithQuantizedScan built no tier")
+	}
+	check(t, NewWithSnapshot(cold, WithQuantizedScan()), "cold quantized load")
+
+	// A plain load of the quantized image must also work (the tier rides
+	// along, scans stay identical).
+	both, _, err := LoadSnapshotBytes(img)
+	if err != nil {
+		t.Fatalf("LoadSnapshotBytes(quantized image, plain opts): %v", err)
+	}
+	check(t, NewWithSnapshot(both), "plain load of quantized image")
+}

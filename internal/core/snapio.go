@@ -50,6 +50,14 @@ const (
 	secCatRes   = 7
 	secCatPerm  = 8
 
+	// Quantized-tier sections (optional; absent in snapshots written before
+	// the tier existed or when the matrix never built one — the loader then
+	// quantizes lazily). QF is one float block (scales ‖ row errors ‖
+	// cluster centroids ‖ cluster radii), QB the integer codes with their
+	// offsets and cluster ids.
+	secCatQF = 9
+	secCatQB = 10
+
 	// Per-release sections live at relSecBase + releaseIndex*relSecStride
 	// plus one of the rel* offsets.
 	relSecBase   = 0x100
@@ -62,6 +70,10 @@ const (
 	relIData     = 5
 	relIProj     = 6
 	relIRes      = 7
+	relMQF       = 8
+	relMQB       = 9
+	relIQF       = 10
+	relIQB       = 11
 )
 
 // relSection returns the section ID of one per-release block.
@@ -210,7 +222,42 @@ func encodeCatalog(w *snapfile.Writer, t *catalogTable) error {
 	w.Add(secCatProj, snapfile.Float64Bytes(proj))
 	w.Add(secCatRes, snapfile.Float64Bytes(res))
 	w.Add(secCatPerm, perm.Bytes())
+	encodeQuant(w, secCatQF, secCatQB, t.matrix)
 	return nil
+}
+
+// encodeQuant persists a matrix's quantized scan tier: the float block and
+// the integer code block. Matrices without a tier write nothing — the
+// sections are optional, so snapshots stay byte-identical to the pre-tier
+// format unless a tier exists, and old readers that ignore unknown sections
+// keep working.
+func encodeQuant(w *snapfile.Writer, qfID, qbID uint32, m *wordvec.Matrix) {
+	if !m.HasQuant() {
+		return
+	}
+	p, _ := m.Quant()
+	floats := make([]float64, 0, len(p.Scales)+len(p.Errs)+len(p.ResCent)+
+		len(p.ResSpread)+len(p.BoxMin)+len(p.BoxMax))
+	floats = append(floats, p.Scales...)
+	floats = append(floats, p.Errs...)
+	floats = append(floats, p.ResCent...)
+	floats = append(floats, p.ResSpread...)
+	floats = append(floats, p.BoxMin...)
+	floats = append(floats, p.BoxMax...)
+	w.Add(qfID, snapfile.Float64Bytes(floats))
+
+	e := snapfile.NewEnc(12 + 4*len(p.Offs) + 2*len(p.ClusterOf) + len(p.Data))
+	e.U32(uint32(m.Rows()))
+	e.U32(uint32(len(p.ResSpread)))
+	e.U32(uint32(len(p.Data)))
+	for _, o := range p.Offs {
+		e.U32(o)
+	}
+	for _, c := range p.ClusterOf {
+		e.U16(c)
+	}
+	e.Raw(p.Data)
+	w.Add(qbID, e.Bytes())
 }
 
 func encodeRelease(w *snapfile.Writer, ri int, info *StaticInfo) error {
@@ -342,6 +389,8 @@ func encodeRelease(w *snapfile.Writer, ri int, info *StaticInfo) error {
 	w.Add(relSection(ri, relIData), snapfile.Float64Bytes(info.invisibleMatrix.Data()))
 	w.Add(relSection(ri, relIProj), snapfile.Float64Bytes(iProj))
 	w.Add(relSection(ri, relIRes), snapfile.Float64Bytes(iRes))
+	encodeQuant(w, relSection(ri, relMQF), relSection(ri, relMQB), info.methodMatrix)
+	encodeQuant(w, relSection(ri, relIQF), relSection(ri, relIQB), info.invisibleMatrix)
 	return nil
 }
 

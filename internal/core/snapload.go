@@ -150,14 +150,14 @@ func loadSnapshot(r *snapfile.Reader, opts ...Option) (*Snapshot, *apk.App, erro
 			wg.Add(1)
 			go func(ri int, release *apk.Release) {
 				defer wg.Done()
-				infos[ri], errs[ri] = loadRelease(r, ri, release, table)
+				infos[ri], errs[ri] = loadRelease(r, ri, release, table, s.forceQuant)
 			}(ri, release)
 		}
 		wg.Wait()
 	} else {
 		// On a single P the goroutines would only add scheduling overhead.
 		for ri, release := range app.Releases {
-			infos[ri], errs[ri] = loadRelease(r, ri, release, table)
+			infos[ri], errs[ri] = loadRelease(r, ri, release, table, s.forceQuant)
 		}
 	}
 	for ri, release := range app.Releases {
@@ -187,6 +187,9 @@ func loadCatalogTable(r *snapfile.Reader, s *Solver) (*catalogTable, error) {
 	matrix, err := wordvec.MatrixFromParts(data, proj, res)
 	if err != nil {
 		return nil, fmt.Errorf("%w: catalog matrix: %v", snapfile.ErrCorrupt, err)
+	}
+	if err := loadQuant(r, secCatQF, secCatQB, matrix, s.forceQuant); err != nil {
+		return nil, err
 	}
 	rowVecs, err := wordvec.RowVectors(data)
 	if err != nil {
@@ -273,11 +276,77 @@ func matrixParts(r *snapfile.Reader, dataID, projID, resID uint32) (data, proj, 
 	return data, proj, res, nil
 }
 
+// loadQuant restores a matrix's quantized tier from its optional section
+// pair: when present, the float block and the integer codes are adopted as
+// zero-copy views of the image (only the small offset/cluster index arrays
+// are decoded onto the heap); when absent — every snapshot written before
+// the tier existed — the matrix quantizes lazily under the solver's policy,
+// so old images keep loading and serve through the same fast path.
+func loadQuant(r *snapfile.Reader, qfID, qbID uint32, m *wordvec.Matrix, force bool) error {
+	fPayload, okF := r.Section(qfID)
+	bPayload, okB := r.Section(qbID)
+	if okF != okB {
+		return fmt.Errorf("%w: quant section pair %#x/%#x half present", snapfile.ErrCorrupt, qfID, qbID)
+	}
+	if !okF {
+		if force {
+			m.EnsureQuantForce()
+		} else {
+			m.EnsureQuant()
+		}
+		return nil
+	}
+	floats, err := snapfile.Float64View(fPayload)
+	if err != nil {
+		return err
+	}
+	d := snapfile.NewDecZeroCopy(bPayload)
+	rows := d.Count(4)
+	k := int(d.U32())
+	dataLen := int(d.U32())
+	offs := make([]uint32, 0, rows+1)
+	for i := 0; i <= rows && d.Err() == nil; i++ {
+		offs = append(offs, d.U32())
+	}
+	clusterOf := make([]uint16, rows)
+	for i := range clusterOf {
+		clusterOf[i] = d.U16()
+	}
+	data := d.Raw(dataLen)
+	if err := d.Done(); err != nil {
+		return err
+	}
+	// QF float layout: scales(rows) ‖ errs(rows) ‖ resCent(k·Dim) ‖
+	// resSpread(k) ‖ boxMin(k·K) ‖ boxMax(k·K).
+	bk := wordvec.BasisSize()
+	if k < 0 || k > rows || len(floats) != 2*rows+k*(wordvec.Dim+1)+2*k*bk {
+		return fmt.Errorf("%w: quant float block has %d floats for %d rows, %d clusters",
+			snapfile.ErrCorrupt, len(floats), rows, k)
+	}
+	var p wordvec.QuantParts
+	cut := func(n int) []float64 {
+		out := floats[:n]
+		floats = floats[n:]
+		return out
+	}
+	p.Scales = cut(rows)
+	p.Errs = cut(rows)
+	p.ResCent = cut(k * wordvec.Dim)
+	p.ResSpread = cut(k)
+	p.BoxMin = cut(k * bk)
+	p.BoxMax = cut(k * bk)
+	p.Offs, p.ClusterOf, p.Data = offs, clusterOf, data
+	if err := m.AdoptQuant(p, true); err != nil {
+		return fmt.Errorf("%w: %v", snapfile.ErrCorrupt, err)
+	}
+	return nil
+}
+
 // loadRelease reconstructs one release's StaticInfo: inventories from
 // REL_META, loose vectors as sub-slices of the REL_VECS view, matrices as
 // zero-copy parts, and the cheap derivations (graph, exceptions,
 // permissions, invisible-row index) recomputed from the decoded IR.
-func loadRelease(r *snapfile.Reader, ri int, release *apk.Release, table *catalogTable) (*StaticInfo, error) {
+func loadRelease(r *snapfile.Reader, ri int, release *apk.Release, table *catalogTable, force bool) (*StaticInfo, error) {
 	metaPayload, err := r.MustSection(relSection(ri, relMeta))
 	if err != nil {
 		return nil, err
@@ -455,6 +524,12 @@ func loadRelease(r *snapfile.Reader, ri int, release *apk.Release, table *catalo
 	}
 	if info.invisibleMatrix, err = wordvec.MatrixFromParts(iData, iProj, iRes); err != nil {
 		return nil, fmt.Errorf("%w: invisible matrix: %v", snapfile.ErrCorrupt, err)
+	}
+	if err := loadQuant(r, relSection(ri, relMQF), relSection(ri, relMQB), info.methodMatrix, force); err != nil {
+		return nil, err
+	}
+	if err := loadQuant(r, relSection(ri, relIQF), relSection(ri, relIQB), info.invisibleMatrix, force); err != nil {
+		return nil, err
 	}
 
 	// Rebuild the invisible-row index and per-GUI vectors from the matrix, in

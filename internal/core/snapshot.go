@@ -135,3 +135,22 @@ func (sn *Snapshot) PrecomputeApp(app *apk.App) {
 // CatalogSize returns the number of framework APIs whose phrase embeddings
 // the snapshot precomputed.
 func (sn *Snapshot) CatalogSize() int { return len(sn.catalogVecs.entries) }
+
+// QuantBytes reports the heap bytes the quantized scan tiers occupy across
+// the catalog matrix and every extracted release (0 without tiers; adopted
+// tiers count only their decoded index arrays — the code and float blocks
+// alias the snapshot image, whose length the owner already accounts for).
+// Serving registries add it to their per-entry byte budgets. Call it after
+// load or Precompute: releases whose extraction is still in flight are not
+// awaited and count as zero.
+func (sn *Snapshot) QuantBytes() int64 {
+	total := sn.catalogVecs.matrix.QuantHeapBytes()
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	for _, e := range sn.static {
+		if info := e.info; info != nil {
+			total += info.methodMatrix.QuantHeapBytes() + info.invisibleMatrix.QuantHeapBytes()
+		}
+	}
+	return total
+}

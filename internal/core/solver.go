@@ -52,6 +52,11 @@ type Solver struct {
 	// exists so the equivalence stays testable.
 	legacyCosine bool
 
+	// forceQuant builds the quantized scan tier on every matrix regardless
+	// of size. Without it the tier engages automatically on fleet-scale
+	// matrices only (wordvec.EnsureQuant's row gate).
+	forceQuant bool
+
 	// snap, when set, is the shared immutable precomputed state this
 	// solver reads through instead of its private caches below.
 	snap *Snapshot
@@ -133,7 +138,20 @@ func (s *Solver) buildCatalogVecs() *catalogTable {
 		t.rowStart = append(t.rowStart, int32(t.matrix.Rows()))
 	}
 	t.matrix.Finish()
+	s.quantize(t.matrix)
 	return t
+}
+
+// quantize applies the solver's quantized-tier policy to a finished matrix:
+// forced everywhere under WithQuantizedScan, auto-gated by row count
+// otherwise. Either way the scan output is exact, so this only ever changes
+// speed, never results.
+func (s *Solver) quantize(m *wordvec.Matrix) {
+	if s.forceQuant {
+		m.EnsureQuantForce()
+	} else {
+		m.EnsureQuant()
+	}
 }
 
 // Option configures a Solver.
@@ -191,6 +209,18 @@ func WithParallelism(n int) Option {
 // testable (and for A/B benchmarks).
 func WithLegacyCosine() Option {
 	return func(s *Solver) { s.legacyCosine = true }
+}
+
+// WithQuantizedScan forces the quantized scan tier (integer row codes with
+// sound error bounds plus the inverted-file cluster prescreen, see
+// wordvec/quant.go) onto every candidate matrix, regardless of the
+// fleet-size auto gate. The tier only skips rows that provably cannot reach
+// the similarity threshold and rescores survivors with the exact float
+// kernel, so localization output is byte-identical with or without this
+// option — property-tested; the flag exists so the equivalence stays
+// testable at every matrix size (and for A/B benchmarks).
+func WithQuantizedScan() Option {
+	return func(s *Solver) { s.forceQuant = true }
 }
 
 // WithObserver installs a telemetry recorder. The pipeline then emits

@@ -174,6 +174,7 @@ func (info *StaticInfo) buildScanState(s *Solver) {
 		info.methodMatrix.Append(info.MethodPhrases[i].Vec)
 	}
 	info.methodMatrix.Finish()
+	s.quantize(info.methodMatrix)
 
 	info.invisibleMatrix = wordvec.NewMatrix(0)
 	for gi := range info.GUIs {
@@ -186,6 +187,7 @@ func (info *StaticInfo) buildScanState(s *Solver) {
 		}
 	}
 	info.invisibleMatrix.Finish()
+	s.quantize(info.invisibleMatrix)
 
 	info.uriNounVecs = make([]wordvec.Vector, len(info.URIs))
 	for i := range info.URIs {

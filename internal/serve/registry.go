@@ -315,8 +315,15 @@ func (r *Registry) load(ctx context.Context, e *entry) error {
 			img, err = os.ReadFile(e.path)
 		}
 		if err == nil {
-			size = int64(len(img))
 			snap, app, err = core.LoadSnapshotBytes(img, r.loadOpts...)
+			if err == nil {
+				// An entry's cost is the retained image plus whatever the
+				// quantized scan tiers allocated beyond it (lazily built
+				// tiers for images without quant sections, decoded index
+				// arrays for adopted ones) — otherwise MaxBytes eviction
+				// would run against an undercount.
+				size = int64(len(img)) + snap.QuantBytes()
+			}
 		}
 	}
 

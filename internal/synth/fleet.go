@@ -1,0 +1,85 @@
+package synth
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// fleetFillers are the app-local decoration words of a fleet corpus: brand
+// and variant tokens that real apps splice into otherwise framework-shaped
+// method names ("sendEmailPro", "cloudFetchMail"). They are deliberately
+// outside the embedding lexicon, so they perturb a phrase's vector away
+// from its base without touching the shared anchor components.
+var fleetFillers = []string{
+	"pro", "lite", "plus", "beta", "cloud", "mobile", "ultra", "mini",
+	"turbo", "prime", "nova", "pixel", "swift", "zen", "flux", "echo",
+	"orbit", "quark", "vega", "nimbus", "aster", "lumen", "corevx", "zephyr",
+}
+
+// fleetDecorPerApp is the number of app-specific decorated phrases each
+// fleet app contributes on top of the shared framework-derived ones.
+const fleetDecorPerApp = 8
+
+// FleetPhrases generates the combined method-phrase corpus of a synthetic
+// fleet of `apps` resident apps, for fleet-scale kernel benchmarks (the
+// quantized scan tier's target workload). The shape mirrors what the synth
+// generator actually builds (see methodNameFor): every app derives its
+// method names from the shared feature vocabulary — the verb/object pairs,
+// feature names, and general-task phrases of the feature library — so those
+// phrases repeat *identically* across the fleet, exactly like framework SDK
+// methods across real apps. On top, each app contributes a handful of
+// app-specific methods: shared base phrases decorated with brand filler
+// words. The output is a flat list of word slices in app-major order; the
+// same seed and app count always produce the identical corpus.
+func FleetPhrases(seed int64, apps int) [][]string {
+	// The shared base vocabulary, deduplicated and in deterministic order
+	// (featureLibrary is a map, so sort its domains first).
+	domains := make([]string, 0, len(featureLibrary))
+	for d := range featureLibrary {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	var base [][]string
+	seen := make(map[string]struct{})
+	add := func(words []string) {
+		if len(words) == 0 {
+			return
+		}
+		key := strings.Join(words, " ")
+		if _, dup := seen[key]; dup {
+			return
+		}
+		seen[key] = struct{}{}
+		base = append(base, words)
+	}
+	for _, d := range domains {
+		for _, f := range featureLibrary[d] {
+			add([]string{f.verb, f.object})
+			add(strings.Fields(f.name))
+			add(strings.Fields(f.generalTask))
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]string, 0, apps*(len(base)+fleetDecorPerApp))
+	for a := 0; a < apps; a++ {
+		out = append(out, base...)
+		// App-specific methods: a few decorated variants of shared bases,
+		// each app with its own filler palette and base picks.
+		f1 := fleetFillers[rng.Intn(len(fleetFillers))]
+		f2 := fleetFillers[rng.Intn(len(fleetFillers))]
+		for d := 0; d < fleetDecorPerApp; d++ {
+			b := base[rng.Intn(len(base))]
+			switch rng.Intn(3) {
+			case 0:
+				out = append(out, append(append([]string{}, b...), f1))
+			case 1:
+				out = append(out, append([]string{f2}, b...))
+			default:
+				out = append(out, append(append([]string{f1}, b...), f2))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,1059 @@
+// Quantized scan tier: the fleet-scale fast path of the similarity kernel.
+//
+// For one app's candidate matrix (tens to hundreds of rows) the float sketch
+// prescreen in kernel.go is enough. A fleet of resident apps multiplies the
+// candidate count by orders of magnitude, and the scan cost becomes the
+// per-row bound itself: K+1 floats read and K+1 multiply-adds for every row,
+// whether or not it could ever match. The quantized tier layers two cheaper
+// exact filters around the sketch — they only ever skip rows that provably
+// cannot reach the threshold:
+//
+//  1. An inverted-file cluster prescreen above the rows. Rows are grouped by
+//     deterministic k-means over their anchor-basis representation — the K
+//     sketch projections plus the residual norm. Fleet corpora are dominated
+//     by near-duplicate phrase families (the same framework verbs across
+//     apps), and those families are separated exactly there. Each cluster
+//     stores one sound compound bound, and a cluster whose bound misses the
+//     threshold retires every member row for the price of a 2-byte
+//     cluster-id load and a branch. Splitting any member c into its anchor
+//     projections cp and its orthogonal remainder c_⊥,
+//
+//     dot(q, c) = Σ_i qp_i·cp_i + dot(q_⊥, c_⊥)
+//
+//     the two parts are bounded separately:
+//
+//     box term — per-coordinate projection extremes boxMin/boxMax over the
+//     members give Σ_i qp_i·cp_i ≤ Σ_i max(qp_i·boxMin_i, qp_i·boxMax_i):
+//     each anchor coordinate maximized independently over the cluster's
+//     bounding box. Tight because the clustering separates exactly these
+//     coordinates.
+//
+//     residual-centroid term — the mean member residual vector ν and the
+//     spread S = max ‖c_⊥ − ν‖ give, by the triangle inequality and
+//     Cauchy–Schwarz,
+//
+//     dot(q_⊥, c_⊥) = dot(q_⊥, ν) + dot(q_⊥, c_⊥ − ν) ≤ dot(q_⊥, ν) + ‖q_⊥‖·S
+//
+//     This is the load-bearing improvement over the naive ‖q_⊥‖·‖c_⊥‖
+//     Cauchy–Schwarz term: a near-duplicate family shares most of its
+//     residual (the same base words), so ν carries it and S shrinks to the
+//     per-app decoration noise — zero for exact duplicates — while
+//     unrelated families' ν is nearly orthogonal to q_⊥ and the dot term
+//     stays near zero.
+//
+//  2. Per-row integer quantization with a sound score bound, for rows whose
+//     cluster stayed live and whose float sketch bound did not already kill
+//     them. Each row c is stored as int8 codes Q with a scale s
+//     (s = maxAbs/127, code = round(c_i/s)), 64 bytes per row instead of
+//     512; rows whose exact reconstruction error norm ‖c − sQ‖ exceeds
+//     quantErrCap fall back to int16 codes, so adversarially shaped rows
+//     keep a tight bound instead of widening it. Writing q = s_q·Q_q + e_q
+//     and c = s_c·Q_c + e_c (the exact remainders),
+//
+//     dot(q, c) = s_q·s_c·(Q_q·Q_c) + q·e_c + e_q·c − e_q·e_c
+//     ≤ s_q·s_c·(Q_q·Q_c) + ‖e_c‖ + ‖e_q‖ + ‖e_q‖·‖e_c‖
+//
+//     using Cauchy–Schwarz and ‖q‖ ≤ 1, ‖c‖ ≤ 1 (every vector this package
+//     produces is unit or zero). The error norms are computed exactly at
+//     quantization time, so the bound is sound — and it is far tighter than
+//     the sketch's Cauchy–Schwarz residual term, so most rows that survive
+//     the sketch die here without their 512-byte float rows ever being read.
+//
+// Scan order inside a live cluster is cheapest-first: float sketch bound,
+// integer code bound, exact float64 rescore — the same dotRow the float tier
+// runs, so the yielded (row, dot) pairs are bitwise identical to an
+// unquantized scan and recall is 1.0 by construction. Every per-row and
+// per-cluster decision is a pure function of (query, matrix, row), so scans
+// chunked across workers yield and count identically to sequential ones.
+//
+// Matrices below quantMinRows rows never build the tier (the float sketch
+// already wins there); EnsureQuantForce exists for tests and snapshots that
+// persist the tier regardless of size.
+package wordvec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+const (
+	// quantMinRows is the auto-quantization gate: matrices smaller than
+	// this keep the float sketch path (EnsureQuant is a no-op). The
+	// threshold sits above every single-app matrix in the seeded corpus
+	// and above the 1024-row micro-benchmark matrices, so only fleet-scale
+	// candidate sets pay the build cost.
+	quantMinRows = 4096
+
+	// quantErrCap bounds the acceptable int8 reconstruction error norm.
+	// Rows beyond it re-quantize as int16, dividing the error by ~256. For
+	// unit 64-dim vectors the int8 error norm is ≤ maxAbs·√Dim/254 ≤ 0.0315
+	// in the worst case and typically < 0.005, so the fallback fires only
+	// on adversarially shaped rows.
+	quantErrCap = 0.015
+
+	// quantMaxClusters caps the inverted file size; cluster-liveness flags
+	// live in a fixed stack array of this size during scans.
+	quantMaxClusters = 256
+
+	// quantClusterRows is the target mean cluster population (k ≈
+	// rows/quantClusterRows, clamped to [1, quantMaxClusters]). Smaller
+	// clusters mean tighter boxes and spreads; the whole cluster pass costs
+	// k·(2K+Dim) multiply-adds per scan, so even the cap is noise next to
+	// the per-row work it saves.
+	quantClusterRows = 64
+
+	// quantKMeansIters is the number of Lloyd refinement iterations after
+	// the deterministic farthest-first seeding. The k-means pass only sees
+	// the minority of rows left over after exact-duplicate grouping, so a
+	// small fixed budget converges and keeps the build cost flat.
+	quantKMeansIters = 2
+
+	// quantDupMin is the smallest exact-duplicate row group that earns a
+	// dedicated point-mass cluster. Fleet corpora repeat framework-derived
+	// phrases byte-identically across apps; a point-mass cluster has zero
+	// box width and zero spread, so its bound *is* the exact dot and a
+	// non-matching phrase retires every fleet-wide copy in one comparison.
+	quantDupMin = 4
+
+	// quantRPDim is the number of fixed random directions the residual part
+	// of each row is projected onto for *clustering only*: rows sharing a
+	// phrase family share most of their residual, and the low-dim projection
+	// exposes that to k-means without paying full-Dim distances. The bounds
+	// derived from the final clusters never touch these features, so they
+	// cannot affect soundness — only cluster quality.
+	quantRPDim = 8
+
+	// quantEps is the safety margin of every quantized-tier bound
+	// comparison, covering float rounding in the bound arithmetic itself
+	// (O(1e-15) on these magnitudes; the margin is overwhelming).
+	quantEps = 1e-9
+)
+
+// quantTier is the quantized scan structure of one Matrix. All row-indexed
+// slices follow the matrix's original row order (the scan walks rows in
+// yield order; the integer codes are the dense stripe it reads). A built
+// tier is immutable and safe for concurrent scans.
+type quantTier struct {
+	scales []float64 // per row: dequantization scale (row ≈ scale·codes)
+	errs   []float64 // per row: exact ‖row − scale·codes‖
+	offs   []uint32  // per row: code byte offset; len rows+1
+	data   []byte    // integer codes, row-major (int8 or LE int16 per row)
+
+	clusterOf []uint16  // per row: inverted-file cluster index
+	resCent   []float64 // k × Dim mean member residual vectors ν
+	resSpread []float64 // k: max member ‖c_⊥ − ν‖
+	boxMin    []float64 // k × K: per-coordinate projection minima
+	boxMax    []float64 // k × K: per-coordinate projection maxima
+
+	// Member lists derived from clusterOf (rebuilt on adopt, never
+	// serialized): rows grouped by cluster, ascending within each cluster,
+	// so a scan touches only live clusters' rows and a dead cluster costs
+	// two binary searches total instead of one branch per member row.
+	// memberProj/memberRes duplicate each member's sketch row in the same
+	// cluster-major order, so the per-member sketch bound inside a live
+	// cluster streams contiguous memory instead of gathering scattered
+	// m.proj rows — the gather was the single hottest load in fleet scans.
+	memberRows   []uint32  // n row indices, cluster-major
+	clusterStart []uint32  // k+1 offsets into memberRows
+	memberProj   []float64 // n × K anchor projections, member order
+	memberRes    []float64 // n residual norms, member order
+
+	// pointMass flags clusters whose member rows are bitwise-identical
+	// vectors (verified against the float data on build/adopt, never
+	// trusted from geometry alone). Identical rows have identical exact
+	// dots, so a scan rescores one member and settles every copy — derived,
+	// never serialized.
+	pointMass []bool
+
+	// resNorm is ‖ν‖ per cluster (derived): dot(q_⊥, ν) ≤ ‖q_⊥‖·‖ν‖, so a
+	// cluster whose bound misses the cutoff even with that cruder term dies
+	// without its Dim-float centroid ever being read.
+	resNorm []float64
+
+	// scaleErr interleaves scales and errs pairwise (derived), so the
+	// per-row integer bound reads one cache line for both instead of two.
+	scaleErr []float64
+
+	adopted bool // float/code blocks alias a snapshot image
+}
+
+// buildMembers derives the cluster-major member lists from clusterOf and
+// lays the members' sketch rows out contiguously in the same order.
+func (m *Matrix) buildMembers(t *quantTier) {
+	k := len(t.resSpread)
+	t.clusterStart = make([]uint32, k+1)
+	for _, c := range t.clusterOf {
+		t.clusterStart[c+1]++
+	}
+	for j := 0; j < k; j++ {
+		t.clusterStart[j+1] += t.clusterStart[j]
+	}
+	t.memberRows = make([]uint32, len(t.clusterOf))
+	next := make([]uint32, k)
+	copy(next, t.clusterStart[:k])
+	for r, c := range t.clusterOf {
+		t.memberRows[next[c]] = uint32(r)
+		next[c]++
+	}
+	K := len(m.proj) / m.rows
+	t.memberProj = make([]float64, len(t.memberRows)*K)
+	t.memberRes = make([]float64, len(t.memberRows))
+	for i, r32 := range t.memberRows {
+		r := int(r32)
+		copy(t.memberProj[i*K:(i+1)*K], m.proj[r*K:(r+1)*K])
+		t.memberRes[i] = m.res[r]
+	}
+	t.resNorm = make([]float64, k)
+	for j := 0; j < k; j++ {
+		var s float64
+		for _, v := range t.resCent[j*Dim : (j+1)*Dim] {
+			s += v * v
+		}
+		t.resNorm[j] = math.Sqrt(s)
+	}
+	t.scaleErr = make([]float64, 2*len(t.scales))
+	for r, s := range t.scales {
+		t.scaleErr[2*r] = s
+		t.scaleErr[2*r+1] = t.errs[r]
+	}
+}
+
+// markPointMass flags the clusters whose member rows are bitwise-identical.
+// The flag is set by comparing the actual float rows — never inferred from
+// the cluster geometry (a mean of N identical floats is not bitwise exact),
+// and never trusted from a snapshot — so a hand-built tier can never smuggle
+// a wrong shared dot past it, and a tier adopted from a snapshot flags
+// exactly the clusters the builder did. Mixed clusters fail on the first
+// differing float, so the pass is one cheap sweep over the rows.
+func (m *Matrix) markPointMass(t *quantTier) {
+	k := len(t.resSpread)
+	t.pointMass = make([]bool, k)
+outer:
+	for j := 0; j < k; j++ {
+		members := t.memberRows[t.clusterStart[j]:t.clusterStart[j+1]]
+		if len(members) < 2 {
+			continue
+		}
+		first := m.data[int(members[0])*Dim : (int(members[0])+1)*Dim]
+		for _, r := range members[1:] {
+			row := m.data[int(r)*Dim : (int(r)+1)*Dim]
+			for i := range first {
+				if row[i] != first[i] {
+					continue outer
+				}
+			}
+		}
+		t.pointMass[j] = true
+	}
+}
+
+// QuantParts is the serialized shape of a tier (see Quant / AdoptQuant).
+// All slices alias the tier (or, on adopt, become the tier); treat them as
+// read-only.
+type QuantParts struct {
+	Scales, Errs       []float64 // per row
+	ResCent, ResSpread []float64 // k×Dim, k
+	BoxMin, BoxMax     []float64 // k×K each
+	Offs               []uint32  // rows+1
+	ClusterOf          []uint16  // per row
+	Data               []byte    // integer codes
+}
+
+// HasQuant reports whether the quantized tier is built.
+func (m *Matrix) HasQuant() bool { return m.qt != nil }
+
+// QuantClusters returns the inverted-file cluster count (0 without a tier).
+func (m *Matrix) QuantClusters() int {
+	if m.qt == nil {
+		return 0
+	}
+	return len(m.qt.resSpread)
+}
+
+// EnsureQuant builds the quantized tier if the matrix is large enough to
+// profit from it (≥ quantMinRows rows) and reports whether the tier is
+// present afterwards. Building is deterministic — same rows, same tier. It
+// must be called before the matrix is shared across goroutines (core builds
+// it at precompute/load time); scans themselves never mutate the matrix.
+func (m *Matrix) EnsureQuant() bool {
+	if m.qt != nil {
+		return true
+	}
+	if m.rows < quantMinRows {
+		return false
+	}
+	m.buildQuant()
+	return true
+}
+
+// EnsureQuantForce builds the tier regardless of the size gate (tests,
+// forced-quantization snapshots). Empty matrices stay tierless.
+func (m *Matrix) EnsureQuantForce() bool {
+	if m.qt != nil {
+		return true
+	}
+	if m.rows == 0 {
+		return false
+	}
+	m.buildQuant()
+	return true
+}
+
+// QuantHeapBytes reports the heap memory the tier occupies beyond the float
+// matrix: everything when built locally, only the decoded index arrays when
+// the code/float blocks alias a snapshot image (serving registries charge
+// this against their byte budget).
+func (m *Matrix) QuantHeapBytes() int64 {
+	t := m.qt
+	if t == nil {
+		return 0
+	}
+	idx := int64(4*len(t.offs) + 2*len(t.clusterOf) +
+		4*len(t.memberRows) + 4*len(t.clusterStart) + len(t.pointMass) +
+		8*len(t.memberProj) + 8*len(t.memberRes) +
+		8*len(t.resNorm) + 8*len(t.scaleErr))
+	if t.adopted {
+		return idx
+	}
+	return idx + int64(len(t.data)) +
+		8*int64(len(t.scales)+len(t.errs)+len(t.resCent)+len(t.resSpread)+
+			len(t.boxMin)+len(t.boxMax))
+}
+
+// buildQuant quantizes every row and builds the inverted file.
+func (m *Matrix) buildQuant() {
+	if m.res == nil {
+		m.Finish()
+	}
+	t := &quantTier{
+		scales: make([]float64, m.rows),
+		errs:   make([]float64, m.rows),
+		offs:   make([]uint32, m.rows+1),
+		data:   make([]byte, 0, m.rows*Dim),
+	}
+	var buf8 [Dim]byte
+	var buf16 [2 * Dim]byte
+	for r := 0; r < m.rows; r++ {
+		row := m.Row(r)
+		s, e := quantizeRow8(row, buf8[:])
+		if e > quantErrCap {
+			s, e = quantizeRow16(row, buf16[:])
+			t.data = append(t.data, buf16[:]...)
+		} else {
+			t.data = append(t.data, buf8[:]...)
+		}
+		t.scales[r], t.errs[r] = s, e
+		t.offs[r+1] = uint32(len(t.data))
+	}
+	m.buildClusters(t)
+	m.buildMembers(t)
+	m.markPointMass(t)
+	m.qt = t
+}
+
+// quantizeRow8 encodes one row as int8 codes and returns the scale and the
+// exact reconstruction error norm ‖row − scale·codes‖.
+func quantizeRow8(row []float64, out []byte) (scale, errNorm float64) {
+	maxAbs := 0.0
+	for _, v := range row {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return 0, 0
+	}
+	scale = maxAbs / 127
+	var e2 float64
+	for i, v := range row {
+		q := math.Round(v / scale)
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		out[i] = byte(int8(q))
+		d := v - scale*q
+		e2 += d * d
+	}
+	return scale, math.Sqrt(e2)
+}
+
+// quantizeRow16 is the int16 fallback (little-endian codes).
+func quantizeRow16(row []float64, out []byte) (scale, errNorm float64) {
+	maxAbs := 0.0
+	for _, v := range row {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return 0, 0
+	}
+	scale = maxAbs / 32767
+	var e2 float64
+	for i, v := range row {
+		q := math.Round(v / scale)
+		if q > 32767 {
+			q = 32767
+		} else if q < -32767 {
+			q = -32767
+		}
+		u := uint16(int16(q))
+		out[2*i] = byte(u)
+		out[2*i+1] = byte(u >> 8)
+		d := v - scale*q
+		e2 += d * d
+	}
+	return scale, math.Sqrt(e2)
+}
+
+// quantizeQuery encodes a query vector as int16 codes (queries are few and
+// reused across whole scans, so the wider width costs nothing and keeps the
+// query-side error negligible).
+func quantizeQuery(v *Vector, out *[Dim]int16) (scale, errNorm float64) {
+	maxAbs := 0.0
+	for _, f := range v {
+		if a := math.Abs(f); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return 0, 0
+	}
+	scale = maxAbs / 32767
+	var e2 float64
+	for i, f := range v {
+		q := math.Round(f / scale)
+		if q > 32767 {
+			q = 32767
+		} else if q < -32767 {
+			q = -32767
+		}
+		out[i] = int16(q)
+		d := f - scale*q
+		e2 += d * d
+	}
+	return scale, math.Sqrt(e2)
+}
+
+// dotQ8 is the int16-query × int8-row integer dot. Worst case |sum| ≤
+// 64·32767·127 < 2³¹, so an int32 accumulator cannot overflow.
+func dotQ8(q *[Dim]int16, row []byte) int32 {
+	row = row[:Dim]
+	var s0, s1, s2, s3 int32
+	for i := 0; i < Dim; i += 4 {
+		s0 += int32(q[i]) * int32(int8(row[i]))
+		s1 += int32(q[i+1]) * int32(int8(row[i+1]))
+		s2 += int32(q[i+2]) * int32(int8(row[i+2]))
+		s3 += int32(q[i+3]) * int32(int8(row[i+3]))
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dotQ16 is the int16 × int16 dot (int64 accumulator: 64·32767² > 2³¹).
+func dotQ16(q *[Dim]int16, row []byte) int64 {
+	row = row[:2*Dim]
+	var s0, s1 int64
+	for i := 0; i < Dim; i += 2 {
+		a := int16(uint16(row[2*i]) | uint16(row[2*i+1])<<8)
+		b := int16(uint16(row[2*i+2]) | uint16(row[2*i+3])<<8)
+		s0 += int64(q[i]) * int64(a)
+		s1 += int64(q[i+1]) * int64(b)
+	}
+	return s0 + s1
+}
+
+// rowUpper returns the sound upper bound on dot(q, row r) from the integer
+// codes: the dequantized integer dot plus the stored row error, the query
+// error, and their cross term (see the package comment derivation).
+func (t *quantTier) rowUpper(q *Query, r int) float64 {
+	lo, hi := t.offs[r], t.offs[r+1]
+	codes := t.data[lo:hi]
+	scale, err := t.scaleErr[2*r], t.scaleErr[2*r+1]
+	var approx float64
+	if int(hi-lo) == Dim {
+		approx = q.qscale * scale * float64(dotQ8(&q.qi, codes))
+	} else {
+		approx = q.qscale * scale * float64(dotQ16(&q.qi, codes))
+	}
+	return approx + err + q.qerr*(1+err)
+}
+
+// liveClusters evaluates the compound cluster bound — projection box term
+// plus residual-centroid term (see the package comment derivation) — for
+// every cluster: a dead cluster's member rows are skipped without even
+// their sketches being read. All three summands are needed for soundness
+// (the ν dot may be positive), so there is no partial early-out; the whole
+// pass is k·(2K+Dim) multiply-adds, noise next to the per-row work it
+// saves.
+func (t *quantTier) liveClusters(q *Query, cutoff float64, live *[quantMaxClusters]bool) {
+	K := len(q.proj)
+	for j := range t.resSpread {
+		box := 0.0
+		lo, hi := t.boxMin[j*K:(j+1)*K], t.boxMax[j*K:(j+1)*K]
+		for i, p := range q.proj {
+			if p >= 0 {
+				box += p * hi[i]
+			} else {
+				box += p * lo[i]
+			}
+		}
+		// Crude first pass: dot(q_⊥, ν) ≤ ‖q_⊥‖·‖ν‖ (Cauchy–Schwarz), so
+		// when even that overshoot misses the cutoff the cluster is dead
+		// without its Dim-float centroid being read — the exact ν dot can
+		// only be smaller, so the live flags are identical either way.
+		if box+q.res*(t.resSpread[j]+t.resNorm[j]) < cutoff {
+			live[j] = false
+			continue
+		}
+		b := box + q.res*t.resSpread[j] + dotRowAny(&q.resid, t.resCent[j*Dim:(j+1)*Dim])
+		live[j] = b >= cutoff
+	}
+}
+
+// scanThreshold is ScanThresholdCount over the quantized tier. Per row in a
+// live cluster the filters run cheapest-first: float sketch bound, integer
+// code bound, exact rescore with the same dotRow as the float tier — so the
+// yielded (row, dot) pairs are identical (rows, bits, order) to an
+// unquantized scan. Every outcome is a pure function of (query, matrix,
+// row) — chunked scans sum to the same counts and yield the same rows for
+// any [start, end) partition.
+func (t *quantTier) scanThreshold(m *Matrix, q *Query, threshold float64, start, end int, yield func(row int, dot float64)) ScanCount {
+	var sc ScanCount
+	cutoff := threshold - quantEps
+	sketchCutoff := threshold - prescreenEps
+	var live [quantMaxClusters]bool
+	t.liveClusters(q, cutoff, &live)
+
+	// Walk the cluster-major member lists: a dead cluster contributes only
+	// its [start, end) population count (two binary searches), so its rows
+	// cost nothing at all. Hits are gathered cluster-by-cluster — each
+	// cluster's hits arrive in ascending row order, so the collection is a
+	// concatenation of sorted runs — and merged back into global row order
+	// before yielding: same rows, same dots, same order as the float tier,
+	// without a comparison sort on the hit set.
+	type hit struct {
+		row int
+		dot float64
+	}
+	var hits []hit
+	var runs []int // start index of each per-cluster ascending run in hits
+	K := len(q.proj)
+	for j := range t.resSpread {
+		mark := len(hits)
+		members := t.memberRows[t.clusterStart[j]:t.clusterStart[j+1]]
+		lo := sort.Search(len(members), func(i int) bool { return int(members[i]) >= start })
+		hi := sort.Search(len(members), func(i int) bool { return int(members[i]) >= end })
+		if !live[j] {
+			sc.IVFPruned += hi - lo
+			continue
+		}
+		if t.pointMass[j] && hi > lo {
+			// Bitwise-identical member rows share one exact dot: rescore
+			// the first member and settle every fleet-wide copy with it.
+			sc.Evaluated += hi - lo
+			r0 := int(members[lo])
+			if d := dotRow(&q.Vec, m.data[r0*Dim:(r0+1)*Dim]); d >= threshold {
+				sc.Matched += hi - lo
+				for _, r32 := range members[lo:hi] {
+					hits = append(hits, hit{int(r32), d})
+				}
+				runs = append(runs, mark)
+			}
+			continue
+		}
+		base := int(t.clusterStart[j])
+		for idx := base + lo; idx < base+hi; idx++ {
+			// Float sketch bound over the member-order sketch copy — the
+			// identical summation order as Matrix.bound, streaming instead
+			// of gathering.
+			b := q.res * t.memberRes[idx]
+			mp := t.memberProj[idx*K : (idx+1)*K]
+			for i := range mp {
+				b += q.proj[i] * mp[i]
+			}
+			if b < sketchCutoff {
+				sc.Pruned++
+				continue
+			}
+			r := int(t.memberRows[idx])
+			if t.rowUpper(q, r) < cutoff {
+				sc.BoundPruned++
+				continue
+			}
+			sc.Evaluated++
+			if d := dotRow(&q.Vec, m.data[r*Dim:(r+1)*Dim]); d >= threshold {
+				sc.Matched++
+				hits = append(hits, hit{r, d})
+			}
+		}
+		if len(hits) > mark {
+			runs = append(runs, mark)
+		}
+	}
+	switch len(runs) {
+	case 0:
+	case 1:
+		for _, h := range hits {
+			yield(h.row, h.dot)
+		}
+	default:
+		// K-way merge of the sorted runs; the run count is the number of
+		// hit-bearing clusters, typically a handful, so a linear head scan
+		// beats any heap or comparison sort.
+		ends := make([]int, len(runs))
+		copy(ends, runs[1:])
+		ends[len(ends)-1] = len(hits)
+		for {
+			best := -1
+			for i := range runs {
+				if runs[i] < ends[i] && (best < 0 || hits[runs[i]].row < hits[runs[best]].row) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			h := hits[runs[best]]
+			runs[best]++
+			yield(h.row, h.dot)
+		}
+	}
+	return sc
+}
+
+// anyAtLeast is AnyAtLeastCount over the quantized tier. Per-entry ranges
+// are tiny, so the cluster pass is skipped and the per-row filters run
+// directly in the same cheapest-first order (the quantized query rides on
+// the prepared Query, so no per-call quantization happens either).
+func (t *quantTier) anyAtLeast(m *Matrix, q *Query, threshold float64, start, end int) (bool, ScanCount) {
+	var sc ScanCount
+	cutoff := threshold - quantEps
+	sketchCutoff := threshold - prescreenEps
+	for r := start; r < end; r++ {
+		if m.bound(q, r) < sketchCutoff {
+			sc.Pruned++
+			continue
+		}
+		if t.rowUpper(q, r) < cutoff {
+			sc.BoundPruned++
+			continue
+		}
+		sc.Evaluated++
+		if dotRow(&q.Vec, m.data[r*Dim:(r+1)*Dim]) >= threshold {
+			sc.Matched++
+			return true, sc
+		}
+	}
+	return false, sc
+}
+
+// --- inverted-file clustering ----------------------------------------------------
+
+// buildClusters groups rows into the inverted-file clusters and derives the
+// sound per-cluster bound ingredients — the projection box and the residual
+// centroid + spread — from the final assignment. Grouping is two-tier and
+// fully deterministic:
+//
+//  1. Exact-duplicate groups. Rows with identical vectors (framework-derived
+//     phrases repeated across a fleet of apps) of at least quantDupMin
+//     members get dedicated point-mass clusters, largest group first (ties
+//     by first appearance). Their projection box has zero width and their
+//     residual spread is zero, so the cluster bound equals the exact dot and
+//     one comparison settles every fleet-wide copy of the phrase.
+//
+//  2. Leftover rows — app-decorated variants and small groups — are split
+//     over the remaining cluster budget by deterministic k-means over their
+//     anchor-basis representation (the K sketch projections, the residual
+//     norm, and fixed random projections of the residual). Seeding is
+//     farthest-first from the largest residual; ties always resolve to the
+//     lowest index, and the iteration count is fixed, so the same matrix
+//     always produces the same clusters.
+func (m *Matrix) buildClusters(t *quantTier) {
+	n := m.rows
+	K := len(m.proj) / n
+
+	// Per-row residual vectors c_⊥ = row − Σ_i p_i·u_i — the sketch already
+	// holds the p_i, so this is one basis sweep per row. The residuals feed
+	// both the clustering features and the exact bound derivation below.
+	basis := anchorBasis()
+	resid := make([]float64, n*Dim)
+	for r := 0; r < n; r++ {
+		out := resid[r*Dim : (r+1)*Dim]
+		copy(out, m.Row(r))
+		pr := m.proj[r*K : (r+1)*K]
+		for bi := range basis {
+			p := pr[bi]
+			b := &basis[bi]
+			for i := 0; i < Dim; i++ {
+				out[i] -= p * b[i]
+			}
+		}
+	}
+
+	// Tier 1: exact-duplicate grouping. Vector is a comparable array type,
+	// so a map keyed by the row value groups identical rows directly; group
+	// identity is fixed by first appearance, never by map order.
+	type dupGroup struct {
+		first int
+		rows  []int
+	}
+	byVec := make(map[Vector]int, n)
+	var groups []dupGroup
+	for r := 0; r < n; r++ {
+		var key Vector
+		copy(key[:], m.Row(r))
+		gi, ok := byVec[key]
+		if !ok {
+			gi = len(groups)
+			byVec[key] = gi
+			groups = append(groups, dupGroup{first: r})
+		}
+		groups[gi].rows = append(groups[gi].rows, r)
+	}
+	var dup []int
+	for gi := range groups {
+		if len(groups[gi].rows) >= quantDupMin {
+			dup = append(dup, gi)
+		}
+	}
+	sort.Slice(dup, func(a, b int) bool {
+		ga, gb := &groups[dup[a]], &groups[dup[b]]
+		if len(ga.rows) != len(gb.rows) {
+			return len(ga.rows) > len(gb.rows)
+		}
+		return ga.first < gb.first
+	})
+	// Budget split under the hard quantMaxClusters cap: the k-means tier
+	// reserves what the leftover rows want at the usual density (at most
+	// half the cap), and duplicate groups take dedicated clusters from the
+	// rest — a point-mass cluster costs a fraction of one member's scan, so
+	// it is never traded away just because the matrix is small.
+	dupRows := 0
+	for _, gi := range dup {
+		dupRows += len(groups[gi].rows)
+	}
+	klWant := (n - dupRows) / quantClusterRows
+	if n-dupRows > 0 && klWant < 1 {
+		klWant = 1
+	}
+	if klWant > quantMaxClusters/2 {
+		klWant = quantMaxClusters / 2
+	}
+	if maxDup := quantMaxClusters - klWant; len(dup) > maxDup {
+		dup = dup[:maxDup]
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for ci, gi := range dup {
+		for _, r := range groups[gi].rows {
+			assign[r] = ci
+		}
+	}
+	g := len(dup)
+	var leftover []int
+	for r := 0; r < n; r++ {
+		if assign[r] < 0 {
+			leftover = append(leftover, r)
+		}
+	}
+
+	// Tier 2: deterministic k-means over the leftover rows only, on the
+	// full remaining cluster budget. Feature rows are [projections...,
+	// residual norm, residual random projections...]; the fixed rp
+	// directions are derived from the same deterministic hash embedding as
+	// everything else.
+	kl := quantMaxClusters - g
+	if kl > len(leftover) {
+		kl = len(leftover)
+	}
+	if kl > 0 {
+		var rpDirs [quantRPDim]Vector
+		for i := range rpDirs {
+			rpDirs[i] = hashVector(fmt.Sprintf("quantrp:%d", i))
+		}
+		fdim := K + 1 + quantRPDim
+		L := len(leftover)
+		feat := make([]float64, L*fdim)
+		for i, r := range leftover {
+			fr := feat[i*fdim : (i+1)*fdim]
+			copy(fr, m.proj[r*K:(r+1)*K])
+			fr[K] = m.res[r]
+			rr := resid[r*Dim : (r+1)*Dim]
+			for d := range rpDirs {
+				fr[K+1+d] = dotRow(&rpDirs[d], rr)
+			}
+		}
+		sq := func(a, b []float64) float64 {
+			var s float64
+			for i := range a {
+				d := a[i] - b[i]
+				s += d * d
+			}
+			return s
+		}
+
+		// Farthest-first seeding from the largest leftover residual.
+		cent := make([]float64, kl*fdim)
+		first := 0
+		for i := 1; i < L; i++ {
+			if m.res[leftover[i]] > m.res[leftover[first]] {
+				first = i
+			}
+		}
+		copy(cent[:fdim], feat[first*fdim:(first+1)*fdim])
+		dist := make([]float64, L)
+		for i := 0; i < L; i++ {
+			dist[i] = sq(feat[i*fdim:(i+1)*fdim], cent[:fdim])
+		}
+		for j := 1; j < kl; j++ {
+			far := 0
+			for i := 1; i < L; i++ {
+				if dist[i] > dist[far] {
+					far = i
+				}
+			}
+			cj := cent[j*fdim : (j+1)*fdim]
+			copy(cj, feat[far*fdim:(far+1)*fdim])
+			for i := 0; i < L; i++ {
+				if d := sq(feat[i*fdim:(i+1)*fdim], cj); d < dist[i] {
+					dist[i] = d
+				}
+			}
+		}
+
+		// Lloyd refinement with a fixed iteration budget; the final pass
+		// only assigns. Ties go to the lowest cluster index; emptied
+		// clusters keep a zero centroid (deterministic either way).
+		sub := make([]int, L)
+		counts := make([]int, kl)
+		for iter := 0; iter <= quantKMeansIters; iter++ {
+			for i := 0; i < L; i++ {
+				fr := feat[i*fdim : (i+1)*fdim]
+				best, bd := 0, math.MaxFloat64
+				for j := 0; j < kl; j++ {
+					if d := sq(fr, cent[j*fdim:(j+1)*fdim]); d < bd {
+						best, bd = j, d
+					}
+				}
+				sub[i] = best
+			}
+			if iter == quantKMeansIters {
+				break
+			}
+			for i := range cent {
+				cent[i] = 0
+			}
+			for j := range counts {
+				counts[j] = 0
+			}
+			for i := 0; i < L; i++ {
+				j := sub[i]
+				counts[j]++
+				fr := feat[i*fdim : (i+1)*fdim]
+				cj := cent[j*fdim : (j+1)*fdim]
+				for d := 0; d < fdim; d++ {
+					cj[d] += fr[d]
+				}
+			}
+			for j := 0; j < kl; j++ {
+				if counts[j] == 0 {
+					continue
+				}
+				inv := 1 / float64(counts[j])
+				cj := cent[j*fdim : (j+1)*fdim]
+				for d := 0; d < fdim; d++ {
+					cj[d] *= inv
+				}
+			}
+		}
+		for i, r := range leftover {
+			assign[r] = g + sub[i]
+		}
+	}
+	ktot := g + kl
+
+	// Compact away empty clusters, then derive the bounds from the final
+	// assignment.
+	counts := make([]int, ktot)
+	for r := 0; r < n; r++ {
+		counts[assign[r]]++
+	}
+	remap := make([]int, ktot)
+	newK := 0
+	for j := 0; j < ktot; j++ {
+		if counts[j] > 0 {
+			remap[j] = newK
+			newK++
+		} else {
+			remap[j] = -1
+		}
+	}
+
+	t.clusterOf = make([]uint16, n)
+	t.resCent = make([]float64, newK*Dim)
+	t.resSpread = make([]float64, newK)
+	t.boxMin = make([]float64, newK*K)
+	t.boxMax = make([]float64, newK*K)
+	for i := range t.boxMin {
+		t.boxMin[i] = math.MaxFloat64
+		t.boxMax[i] = -math.MaxFloat64
+	}
+	sizes := make([]int, newK)
+	for r := 0; r < n; r++ {
+		j := remap[assign[r]]
+		t.clusterOf[r] = uint16(j)
+		sizes[j]++
+		rr := resid[r*Dim : (r+1)*Dim]
+		cj := t.resCent[j*Dim : (j+1)*Dim]
+		for i := 0; i < Dim; i++ {
+			cj[i] += rr[i]
+		}
+		lo, hi := t.boxMin[j*K:(j+1)*K], t.boxMax[j*K:(j+1)*K]
+		pr := m.proj[r*K : (r+1)*K]
+		for i, p := range pr {
+			if p < lo[i] {
+				lo[i] = p
+			}
+			if p > hi[i] {
+				hi[i] = p
+			}
+		}
+	}
+	for j := 0; j < newK; j++ {
+		inv := 1 / float64(sizes[j])
+		cj := t.resCent[j*Dim : (j+1)*Dim]
+		for i := 0; i < Dim; i++ {
+			cj[i] *= inv
+		}
+	}
+	for r := 0; r < n; r++ {
+		j := t.clusterOf[r]
+		if d := math.Sqrt(sqDist(resid[r*Dim:(r+1)*Dim], t.resCent[int(j)*Dim:(int(j)+1)*Dim])); d > t.resSpread[j] {
+			t.resSpread[j] = d
+		}
+	}
+}
+
+// sqDist returns the squared Euclidean distance of two Dim-float slices.
+func sqDist(a, b []float64) float64 {
+	a, b = a[:Dim], b[:Dim]
+	var s0, s1, s2, s3 float64
+	for i := 0; i < Dim; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dotRowAny is dotRow against an arbitrary Dim-float slice (cluster
+// centroids are not Vector values).
+func dotRowAny(a *Vector, row []float64) float64 {
+	row = row[:Dim]
+	var s0, s1, s2, s3 float64
+	for i := 0; i < Dim; i += 4 {
+		s0 += a[i] * row[i]
+		s1 += a[i+1] * row[i+1]
+		s2 += a[i+2] * row[i+2]
+		s3 += a[i+3] * row[i+3]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// --- serialization ----------------------------------------------------------------
+
+// Quant exposes the tier's blocks for snapshot serialization; ok is false
+// without a tier.
+func (m *Matrix) Quant() (QuantParts, bool) {
+	t := m.qt
+	if t == nil {
+		return QuantParts{}, false
+	}
+	return QuantParts{
+		Scales: t.scales, Errs: t.errs,
+		ResCent: t.resCent, ResSpread: t.resSpread,
+		BoxMin: t.boxMin, BoxMax: t.boxMax,
+		Offs: t.offs, ClusterOf: t.clusterOf, Data: t.data,
+	}, true
+}
+
+// AdoptQuant installs a deserialized tier after validating its shape against
+// the matrix, which must carry its prescreen sketch — the quantized scan
+// layers on top of it. With adopted=true the float and code blocks are
+// assumed to alias a snapshot image (QuantHeapBytes then charges only the
+// index arrays). The slices are adopted, not copied.
+func (m *Matrix) AdoptQuant(p QuantParts, adopted bool) error {
+	rows := m.rows
+	if rows > 0 && m.res == nil {
+		return fmt.Errorf("wordvec: quant tier adopted onto a matrix without a prescreen sketch")
+	}
+	if len(p.Scales) != rows || len(p.Errs) != rows || len(p.Offs) != rows+1 || len(p.ClusterOf) != rows {
+		return fmt.Errorf("wordvec: quant tier rows %d/%d/%d/%d, matrix has %d",
+			len(p.Scales), len(p.Errs), len(p.Offs)-1, len(p.ClusterOf), rows)
+	}
+	k := len(p.ResSpread)
+	if rows > 0 && (k < 1 || k > quantMaxClusters) {
+		return fmt.Errorf("wordvec: quant tier has %d clusters, want 1..%d", k, quantMaxClusters)
+	}
+	K := BasisSize()
+	if len(p.ResCent) != k*Dim || len(p.BoxMin) != k*K || len(p.BoxMax) != k*K {
+		return fmt.Errorf("wordvec: quant cluster blocks %d/%d/%d for %d clusters (basis %d)",
+			len(p.ResCent), len(p.BoxMin), len(p.BoxMax), k, K)
+	}
+	if p.Offs[0] != 0 {
+		return fmt.Errorf("wordvec: quant offsets start at %d", p.Offs[0])
+	}
+	for r := 0; r < rows; r++ {
+		w := int(p.Offs[r+1]) - int(p.Offs[r])
+		if w != Dim && w != 2*Dim {
+			return fmt.Errorf("wordvec: quant row %d spans %d bytes, want %d or %d", r, w, Dim, 2*Dim)
+		}
+		if int(p.ClusterOf[r]) >= k {
+			return fmt.Errorf("wordvec: quant row %d in cluster %d of %d", r, p.ClusterOf[r], k)
+		}
+		if s, e := p.Scales[r], p.Errs[r]; math.IsNaN(s) || math.IsInf(s, 0) || s < 0 ||
+			math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+			return fmt.Errorf("wordvec: quant row %d has invalid scale/error", r)
+		}
+	}
+	if rows > 0 && int(p.Offs[rows]) != len(p.Data) {
+		return fmt.Errorf("wordvec: quant codes %d bytes, offsets end at %d", len(p.Data), p.Offs[rows])
+	}
+	for j := 0; j < k; j++ {
+		if v := p.ResSpread[j]; math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("wordvec: quant cluster %d has invalid spread", j)
+		}
+	}
+	if rows == 0 {
+		return nil
+	}
+	m.qt = &quantTier{
+		scales: p.Scales, errs: p.Errs, offs: p.Offs, data: p.Data,
+		clusterOf: p.ClusterOf, resCent: p.ResCent, resSpread: p.ResSpread,
+		boxMin: p.BoxMin, boxMax: p.BoxMax,
+		adopted: adopted,
+	}
+	m.buildMembers(m.qt)
+	m.markPointMass(m.qt)
+	return nil
+}

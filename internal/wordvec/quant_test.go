@@ -1,0 +1,390 @@
+package wordvec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// scanHit is one yielded (row, dot) pair; tests compare hit slices with
+// reflect.DeepEqual so rows, bits, and order must all agree.
+type scanHit struct {
+	row int
+	dot float64
+}
+
+// adversarialRow is a unit vector shaped to defeat int8 quantization: one
+// dominant component sets the scale, and every other component sits near a
+// half code step so the rounding errors accumulate past quantErrCap and the
+// row must fall back to int16 codes.
+func adversarialRow() Vector {
+	var v Vector
+	v[0] = 1
+	for i := 1; i < Dim; i++ {
+		v[i] = 0.004
+	}
+	normalize(&v)
+	return v
+}
+
+// quantCorpus builds a corpus exercising every quantization edge: phrase
+// vectors, random units, exact-duplicate blocks large enough for point-mass
+// clusters, zero rows, and int16-fallback rows.
+func quantCorpus(t *testing.T, seed int64) []Vector {
+	t.Helper()
+	m := NewModel()
+	rng := rand.New(rand.NewSource(seed))
+	var vecs []Vector
+	vecs = append(vecs, phraseCorpus(m)...)
+	for i := 0; i < 40; i++ {
+		vecs = append(vecs, randomUnit(rng))
+	}
+	// Exact duplicates, interleaved with the rest like a fleet corpus.
+	dupA := m.PhraseVector([]string{"fetch", "mail"})
+	dupB := m.PhraseVector([]string{"crash", "launch"})
+	for i := 0; i < 3*quantDupMin; i++ {
+		vecs = append(vecs, dupA, dupB, randomUnit(rng))
+	}
+	var zero Vector
+	vecs = append(vecs, zero, zero)
+	vecs = append(vecs, adversarialRow())
+	// Near-duplicate decorated variants of a shared base.
+	base := m.PhraseVector([]string{"send", "message"})
+	for i := 0; i < 6; i++ {
+		v := base
+		v[i%Dim] += 0.05
+		normalize(&v)
+		vecs = append(vecs, v)
+	}
+	return vecs
+}
+
+// buildQuantPair builds a float-only matrix and a forced-quantized matrix
+// over the identical flattened rows.
+func buildQuantPair(t *testing.T, vecs []Vector) (*Matrix, *Matrix) {
+	t.Helper()
+	mat := NewMatrix(len(vecs))
+	for _, v := range vecs {
+		mat.Append(v)
+	}
+	mat.Finish()
+	proj, res := mat.Sketch()
+	qmat, err := MatrixFromParts(mat.Data(), proj, res)
+	if err != nil {
+		t.Fatalf("MatrixFromParts: %v", err)
+	}
+	if !qmat.EnsureQuantForce() {
+		t.Fatal("EnsureQuantForce returned false on a non-empty matrix")
+	}
+	return mat, qmat
+}
+
+// collectScan gathers the yields of a (possibly chunked) threshold scan plus
+// the summed counts.
+func collectScan(m *Matrix, q *Query, threshold float64, chunks int) ([]scanHit, ScanCount) {
+	var hits []scanHit
+	var sc ScanCount
+	n := m.Rows()
+	for c := 0; c < chunks; c++ {
+		start, end := c*n/chunks, (c+1)*n/chunks
+		got := m.ScanThresholdCount(q, threshold, start, end, func(row int, dot float64) {
+			hits = append(hits, scanHit{row, dot})
+		})
+		sc.Merge(got)
+	}
+	return hits, sc
+}
+
+// TestQuantScanMatchesFloat is the tier's property test: across seeds,
+// thresholds, and chunk partitions, the quantized scan must yield exactly
+// the float scan's (row, dot) pairs — same rows, same bits, same order —
+// and its counts must be partition-invariant.
+func TestQuantScanMatchesFloat(t *testing.T) {
+	model := NewModel()
+	queries := [][]string{
+		{"fetch", "mail"}, {"send", "message"}, {"upload", "photo"},
+		{"zorblax", "quux"}, {"crash", "launch"},
+	}
+	for _, seed := range []int64{3, 5, 7, 9, 21} {
+		vecs := quantCorpus(t, seed)
+		mat, qmat := buildQuantPair(t, vecs)
+		rng := rand.New(rand.NewSource(seed + 100))
+		qvs := []Vector{randomUnit(rng), {}}
+		for _, p := range queries {
+			qvs = append(qvs, model.PhraseVector(p))
+		}
+		for qi, qv := range qvs {
+			q := PrepareQuery(qv)
+			for _, threshold := range []float64{0.3, DefaultThreshold, 0.9} {
+				want, _ := collectScan(mat, &q, threshold, 1)
+				var ref ScanCount
+				for ci, chunks := range []int{1, 4, 7} {
+					got, sc := collectScan(qmat, &q, threshold, chunks)
+					if len(want) == 0 && len(got) == 0 {
+						// DeepEqual distinguishes nil from empty.
+					} else if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed %d query %d threshold %v chunks %d: quant yields diverge from float", seed, qi, threshold, chunks)
+					}
+					if ci == 0 {
+						ref = sc
+					} else if sc != ref {
+						t.Fatalf("seed %d query %d threshold %v chunks %d: counts %+v != sequential %+v", seed, qi, threshold, chunks, sc, ref)
+					}
+					if sc.Matched != len(want) {
+						t.Fatalf("seed %d query %d: matched %d but yielded %d", seed, qi, sc.Matched, len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuantAnyAtLeastMatchesFloat: the existence scan must agree with the
+// float path on every subrange (the quantized tier routes it through the
+// per-row filters without the cluster pass).
+func TestQuantAnyAtLeastMatchesFloat(t *testing.T) {
+	model := NewModel()
+	vecs := quantCorpus(t, 11)
+	mat, qmat := buildQuantPair(t, vecs)
+	n := mat.Rows()
+	for qi, p := range [][]string{{"fetch", "mail"}, {"delete", "file"}, {"zorblax", "quux"}} {
+		q := PrepareQuery(model.PhraseVector(p))
+		for _, span := range [][2]int{{0, n}, {0, n / 2}, {n / 2, n}, {3, 5}, {n, n}} {
+			want := mat.AnyAtLeast(&q, DefaultThreshold, span[0], span[1])
+			got, _ := qmat.AnyAtLeastCount(&q, DefaultThreshold, span[0], span[1])
+			if got != want {
+				t.Fatalf("query %d span %v: quant AnyAtLeast %v, float %v", qi, span, got, want)
+			}
+		}
+	}
+}
+
+// TestQuantRowBoundSound: the per-row integer bound must dominate the exact
+// dot for every (query, row) pair — the rescue margin quantEps covers only
+// bound-arithmetic rounding, so the raw bound itself should already clear
+// the dot up to that epsilon.
+func TestQuantRowBoundSound(t *testing.T) {
+	model := NewModel()
+	vecs := quantCorpus(t, 13)
+	_, qmat := buildQuantPair(t, vecs)
+	rng := rand.New(rand.NewSource(17))
+	qvs := []Vector{
+		model.PhraseVector([]string{"fetch", "mail"}),
+		model.PhraseVector([]string{"validate", "email", "address"}),
+		randomUnit(rng), randomUnit(rng), adversarialRow(),
+	}
+	for qi, qv := range qvs {
+		q := PrepareQuery(qv)
+		for r := 0; r < qmat.Rows(); r++ {
+			exact := dotRow(&q.Vec, qmat.Row(r))
+			if up := qmat.qt.rowUpper(&q, r); up+quantEps < exact {
+				t.Fatalf("query %d row %d: integer bound %v below exact dot %v", qi, r, up, exact)
+			}
+		}
+	}
+}
+
+// TestQuantClusterBoundSound: no row whose exact dot reaches the cutoff may
+// sit in a cluster the compound bound declared dead.
+func TestQuantClusterBoundSound(t *testing.T) {
+	model := NewModel()
+	vecs := quantCorpus(t, 19)
+	_, qmat := buildQuantPair(t, vecs)
+	rng := rand.New(rand.NewSource(23))
+	qvs := []Vector{
+		model.PhraseVector([]string{"crash", "launch"}),
+		model.PhraseVector([]string{"sync", "calendar"}),
+		randomUnit(rng), randomUnit(rng),
+	}
+	for qi, qv := range qvs {
+		q := PrepareQuery(qv)
+		for _, threshold := range []float64{0.2, DefaultThreshold, 0.95} {
+			cutoff := threshold - quantEps
+			var live [quantMaxClusters]bool
+			qmat.qt.liveClusters(&q, cutoff, &live)
+			for r := 0; r < qmat.Rows(); r++ {
+				if dotRow(&q.Vec, qmat.Row(r)) >= threshold && !live[qmat.qt.clusterOf[r]] {
+					t.Fatalf("query %d threshold %v: matching row %d in dead cluster %d", qi, threshold, r, qmat.qt.clusterOf[r])
+				}
+			}
+		}
+	}
+}
+
+// TestQuantInt16Fallback: the adversarial half-step row must exceed the int8
+// error cap and be stored as int16 codes, and every stored error must obey
+// the cap it was admitted under.
+func TestQuantInt16Fallback(t *testing.T) {
+	vecs := quantCorpus(t, 29)
+	_, qmat := buildQuantPair(t, vecs)
+	p, ok := qmat.Quant()
+	if !ok {
+		t.Fatal("Quant() reported no tier after EnsureQuantForce")
+	}
+	wide := 0
+	for r := 0; r < qmat.Rows(); r++ {
+		w := int(p.Offs[r+1] - p.Offs[r])
+		switch w {
+		case Dim:
+			if p.Errs[r] > quantErrCap {
+				t.Fatalf("row %d kept int8 codes with error %v over the cap", r, p.Errs[r])
+			}
+		case 2 * Dim:
+			wide++
+		default:
+			t.Fatalf("row %d spans %d code bytes", r, w)
+		}
+	}
+	if wide == 0 {
+		t.Fatal("adversarial corpus produced no int16-fallback rows")
+	}
+}
+
+// TestQuantPointMassClusters: fleet-style exact-duplicate blocks must land
+// in clusters flagged point-mass, and only bitwise-identical member sets may
+// ever be flagged.
+func TestQuantPointMassClusters(t *testing.T) {
+	vecs := quantCorpus(t, 31)
+	_, qmat := buildQuantPair(t, vecs)
+	tier := qmat.qt
+	flagged := 0
+	for j, pm := range tier.pointMass {
+		members := tier.memberRows[tier.clusterStart[j]:tier.clusterStart[j+1]]
+		if !pm {
+			continue
+		}
+		flagged++
+		first := qmat.Row(int(members[0]))
+		for _, r := range members[1:] {
+			if !reflect.DeepEqual(qmat.Row(int(r)), first) {
+				t.Fatalf("point-mass cluster %d holds non-identical rows", j)
+			}
+		}
+	}
+	if flagged == 0 {
+		t.Fatal("duplicate-heavy corpus produced no point-mass clusters")
+	}
+}
+
+// TestQuantRoundTrip: Quant() parts adopted into a fresh matrix over the
+// same rows must scan identically and re-serialize to identical parts.
+func TestQuantRoundTrip(t *testing.T) {
+	model := NewModel()
+	vecs := quantCorpus(t, 37)
+	mat, qmat := buildQuantPair(t, vecs)
+	parts, ok := qmat.Quant()
+	if !ok {
+		t.Fatal("Quant() reported no tier")
+	}
+	proj, res := mat.Sketch()
+	fresh, err := MatrixFromParts(mat.Data(), proj, res)
+	if err != nil {
+		t.Fatalf("MatrixFromParts: %v", err)
+	}
+	if err := fresh.AdoptQuant(parts, true); err != nil {
+		t.Fatalf("AdoptQuant: %v", err)
+	}
+	if !fresh.HasQuant() {
+		t.Fatal("adopted matrix reports no tier")
+	}
+	q := PrepareQuery(model.PhraseVector([]string{"fetch", "mail"}))
+	want, wantSC := collectScan(qmat, &q, DefaultThreshold, 1)
+	got, gotSC := collectScan(fresh, &q, DefaultThreshold, 1)
+	if !reflect.DeepEqual(got, want) || gotSC != wantSC {
+		t.Fatal("adopted tier scans differently from the built tier")
+	}
+	reParts, ok := fresh.Quant()
+	if !ok {
+		t.Fatal("re-Quant reported no tier")
+	}
+	if !reflect.DeepEqual(reParts, parts) {
+		t.Fatal("adopt → Quant round trip changed the serialized parts")
+	}
+	// An adopted tier charges only the derived index arrays to the heap.
+	if hb, fb := fresh.QuantHeapBytes(), qmat.QuantHeapBytes(); hb <= 0 || hb >= fb {
+		t.Fatalf("adopted heap bytes %d not in (0, built %d)", hb, fb)
+	}
+}
+
+// TestAdoptQuantRejectsCorrupt: every structural invariant of the serialized
+// parts must be enforced, so a corrupted snapshot can never install a tier
+// that would scan unsoundly.
+func TestAdoptQuantRejectsCorrupt(t *testing.T) {
+	vecs := quantCorpus(t, 41)
+	mat, qmat := buildQuantPair(t, vecs)
+	good, _ := qmat.Quant()
+	cases := []struct {
+		name string
+		mut  func(p *QuantParts)
+	}{
+		{"truncated scales", func(p *QuantParts) { p.Scales = p.Scales[:len(p.Scales)-1] }},
+		{"truncated offsets", func(p *QuantParts) { p.Offs = p.Offs[:len(p.Offs)-1] }},
+		{"nan scale", func(p *QuantParts) { p.Scales[0] = math.NaN() }},
+		{"negative error", func(p *QuantParts) { p.Errs[0] = -1 }},
+		{"negative spread", func(p *QuantParts) { p.ResSpread[0] = -0.5 }},
+		{"cluster out of range", func(p *QuantParts) { p.ClusterOf[0] = uint16(len(p.ResSpread)) }},
+		{"bad row width", func(p *QuantParts) { p.Offs[1] = p.Offs[0] + 3 }},
+		{"codes length mismatch", func(p *QuantParts) { p.Data = p.Data[:len(p.Data)-1] }},
+		{"centroid length mismatch", func(p *QuantParts) { p.ResCent = p.ResCent[:len(p.ResCent)-Dim] }},
+		{"no clusters", func(p *QuantParts) {
+			p.ResSpread = nil
+			p.ResCent = nil
+			p.BoxMin = nil
+			p.BoxMax = nil
+		}},
+	}
+	proj, res := mat.Sketch()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := good
+			p.Scales = append([]float64(nil), good.Scales...)
+			p.Errs = append([]float64(nil), good.Errs...)
+			p.ResCent = append([]float64(nil), good.ResCent...)
+			p.ResSpread = append([]float64(nil), good.ResSpread...)
+			p.BoxMin = append([]float64(nil), good.BoxMin...)
+			p.BoxMax = append([]float64(nil), good.BoxMax...)
+			p.Offs = append([]uint32(nil), good.Offs...)
+			p.ClusterOf = append([]uint16(nil), good.ClusterOf...)
+			p.Data = append([]byte(nil), good.Data...)
+			tc.mut(&p)
+			fresh, err := MatrixFromParts(mat.Data(), proj, res)
+			if err != nil {
+				t.Fatalf("MatrixFromParts: %v", err)
+			}
+			if err := fresh.AdoptQuant(p, true); err == nil {
+				t.Fatal("AdoptQuant accepted corrupted parts")
+			}
+			if fresh.HasQuant() {
+				t.Fatal("rejected adopt still installed a tier")
+			}
+		})
+	}
+}
+
+// TestEnsureQuantGate: matrices under quantMinRows stay on the float path
+// unless forced, and the heap accounting follows the tier.
+func TestEnsureQuantGate(t *testing.T) {
+	model := NewModel()
+	mat := NewMatrix(8)
+	for i := 0; i < 8; i++ {
+		mat.Append(model.PhraseVector([]string{"word", fmt.Sprintf("n%d", i)}))
+	}
+	mat.Finish()
+	if mat.EnsureQuant() {
+		t.Fatal("EnsureQuant built a tier under the row gate")
+	}
+	if mat.HasQuant() || mat.QuantHeapBytes() != 0 || mat.QuantClusters() != 0 {
+		t.Fatal("gated matrix reports tier state")
+	}
+	if _, ok := mat.Quant(); ok {
+		t.Fatal("Quant() returned parts without a tier")
+	}
+	if !mat.EnsureQuantForce() {
+		t.Fatal("EnsureQuantForce failed on a non-empty matrix")
+	}
+	if !mat.HasQuant() || mat.QuantHeapBytes() <= 0 || mat.QuantClusters() < 1 {
+		t.Fatal("forced tier missing state")
+	}
+}
