@@ -5,7 +5,7 @@ GO      ?= go
 BENCHDIR ?= bench
 TOL     ?= 0.02
 
-.PHONY: ci ci-fast fmt vet build test race benchgate bench bench-all obs-smoke serve-smoke fuzz-smoke snapshot profile update-baselines clean
+.PHONY: ci ci-fast fmt vet build test race benchgate bench bench-all obs-smoke serve-smoke fleetobs-smoke fuzz-smoke snapshot profile update-baselines clean
 
 ci:
 	./ci.sh
@@ -59,12 +59,22 @@ obs-smoke:
 serve-smoke:
 	$(GO) run ./cmd/servesmoke
 
+# Fleet-observability smoke: run the deterministic fleet scenario through
+# `reviewd -fleetstat` twice and require byte-identical SLO digest
+# artifacts (the scenario also backs the exact BENCH_FLEETOBS.json gate).
+fleetobs-smoke:
+	$(GO) run ./cmd/reviewd -fleetstat /tmp/fleetstat-a.json -q
+	$(GO) run ./cmd/reviewd -fleetstat /tmp/fleetstat-b.json -q
+	cmp /tmp/fleetstat-a.json /tmp/fleetstat-b.json
+	@rm -f /tmp/fleetstat-a.json /tmp/fleetstat-b.json
+
 # Short fuzz runs over the hostile-input surfaces: the snapshot container
 # decoder and the full snapshot loader. Both must return typed errors, never
 # panic. (The committed seed corpora live under */testdata/fuzz/.)
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 5s ./internal/snapfile
 	$(GO) test -run '^$$' -fuzz FuzzLoadSnapshotBytes -fuzztime 5s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzDecodeEvents -fuzztime 5s ./internal/obs
 
 # Compile (and verify) the snapshot of one built-in app. Override with e.g.
 #   make snapshot SNAPAPP=org.wordpress.android SNAPOUT=wp.snap

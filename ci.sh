@@ -33,9 +33,10 @@ go test ./...
 step "go test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/... ./internal/serve/..."
 go test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/... ./internal/serve/...
 
-step "fuzz smoke (snapfile decode + snapshot load: typed errors, no panics)"
+step "fuzz smoke (snapfile decode + snapshot load + event journal codec: typed errors, no panics)"
 go test -run '^$' -fuzz FuzzOpen -fuzztime 5s ./internal/snapfile
 go test -run '^$' -fuzz FuzzLoadSnapshotBytes -fuzztime 5s ./internal/core
+go test -run '^$' -fuzz FuzzDecodeEvents -fuzztime 5s ./internal/obs
 
 # One temp dir holds the compiled snapshot artifact shared by the
 # determinism, benchgate and smoke steps below; removed on any exit.
@@ -49,8 +50,14 @@ go build -o "$SNAPDIR/snapshotc" ./cmd/snapshotc
 "$SNAPDIR/snapshotc" -app "$SNAPAPP" -o "$SNAPDIR/again.snap" -q
 cmp "$SNAPDIR/app.snap" "$SNAPDIR/again.snap"
 
-step "benchgate (tier-1 table metric drift + kernel scan stats + telemetry totals + front-end allocs + snapshot gate)"
+step "benchgate (tier-1 table metric drift + kernel scan stats + telemetry totals + front-end allocs + snapshot gate + exact fleetobs gate)"
 go run ./cmd/benchgate -dir "${BENCHDIR:-bench}" -tol "${TOL:-0.02}"
+
+step "fleetobs smoke (reviewd -fleetstat artifact is byte-identical across runs)"
+go build -o "$SNAPDIR/reviewd" ./cmd/reviewd
+"$SNAPDIR/reviewd" -fleetstat "$SNAPDIR/fleetstat.json" -q
+"$SNAPDIR/reviewd" -fleetstat "$SNAPDIR/fleetstat2.json" -q
+cmp "$SNAPDIR/fleetstat.json" "$SNAPDIR/fleetstat2.json"
 
 step "snapshot smoke (localization served from the .snap matches the direct build)"
 go build -o "$SNAPDIR/reviewsolver" ./cmd/reviewsolver

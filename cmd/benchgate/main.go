@@ -63,6 +63,7 @@ func run() error {
 		frontE = flag.Bool("frontend", true, "also gate front-end allocation counts and cache hit rate (BENCH_FRONTEND.json)")
 		snapFl = flag.Bool("snapshot", true, "also gate the snapshot image structure and load equivalence (BENCH_SNAPSHOT.json)")
 		srvFlg = flag.Bool("serve", true, "also gate the serving layer: response exactness, admission counts, failure mapping, perf pins (BENCH_SERVE.json)")
+		fleetF = flag.Bool("fleetobs", true, "also gate fleet observability: labeled metrics, journal event sequence, SLO budget arithmetic, exactly (BENCH_FLEETOBS.json)")
 		update = flag.Bool("update", false, "rewrite the baselines from this run")
 	)
 	flag.Parse()
@@ -171,6 +172,25 @@ func run() error {
 		}
 		path := filepath.Join(*dir, "BENCH_SERVE.json")
 		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, *tol, *update, "serve   ")
+		if err != nil {
+			return err
+		}
+		if madeBaseline {
+			created++
+		}
+		if drifted {
+			failed++
+		}
+	}
+	if *fleetF {
+		cur, err := fleetobsSnapshot(*seed)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, "BENCH_FLEETOBS.json")
+		// Every fleetobs metric is a count or a budget from a
+		// byte-deterministic scenario — gate with zero tolerance.
+		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, 0, *update, "fleetobs")
 		if err != nil {
 			return err
 		}

@@ -10,7 +10,10 @@
 //	POST /v1/classify  {"review": "..."}                          is it a function error?
 //	GET  /v1/apps      registry listing with per-app state
 //	POST /v1/apps      {"app","version","path"} register/hot-swap a snapshot
-//	GET  /metrics      plain-text metric exposition
+//	GET  /v1/trace/ID  sampled explain trace of a past request (-trace-every)
+//	GET  /v1/events    registry lifecycle event journal (-journal)
+//	GET  /v1/fleetstat per-app SLO / error-budget digest (-slo)
+//	GET  /metrics      plain-text metric exposition (per-app labeled + aggregate)
 //	GET  /healthz      liveness
 //
 // Snapshots are registered at boot with repeated -snapshot flags
@@ -85,9 +88,19 @@ func run() error {
 		seed        = flag.Int64("seed", 1, "training seed for the function-error classifier")
 		noClassify  = flag.Bool("no-classifier", false, "skip classifier training: every review counts as a function error")
 		quiet       = flag.Bool("q", false, "suppress startup logging")
+
+		traceEvery = flag.Int("trace-every", 0, "retain every Nth request's explain trace for /v1/trace/<id>; 0 disables tracing")
+		journalCap = flag.Int("journal", 0, "registry lifecycle event journal capacity for /v1/events; 0 disables it")
+		sloAvail   = flag.Float64("slo", 0, "availability objective (e.g. 0.999) enabling /v1/fleetstat SLO tracking; 0 disables it")
+		sloLatency = flag.Duration("slo-latency", 500*time.Millisecond, "per-request latency objective for the SLO fast-ratio")
+		fleetstat  = flag.String("fleetstat", "", "run the deterministic fleet-observability scenario, write its SLO digest JSON to this file, and exit")
 	)
 	flag.Var(&snaps, "snapshot", "register app[@version]=path at boot (repeatable)")
 	flag.Parse()
+
+	if *fleetstat != "" {
+		return writeFleetstat(*fleetstat, *seed, *quiet)
+	}
 
 	met := obs.NewRegistry()
 	cfg := serve.Config{
@@ -98,6 +111,16 @@ func run() error {
 		MaxBytes:       *maxBytes,
 		PoolWorkers:    *poolWorkers,
 		Metrics:        met,
+
+		TraceSampleEvery: *traceEvery,
+		TraceSeed:        *seed,
+		JournalCapacity:  *journalCap,
+	}
+	if *sloAvail > 0 {
+		cfg.SLO = &obs.SLOConfig{
+			Availability:       *sloAvail,
+			LatencyObjectiveNs: sloLatency.Nanoseconds(),
+		}
 	}
 	if !*noClassify {
 		vec, clf := textclass.TrainOn(synth.TrainingCorpus(*seed),
@@ -128,4 +151,25 @@ func run() error {
 		fmt.Fprintln(os.Stderr, "reviewd: draining...")
 	}
 	return d.Close()
+}
+
+// writeFleetstat runs the deterministic fleet-observability scenario and
+// writes the resulting SLO digest artifact. For a fixed seed the bytes are
+// identical across runs and machines — CI runs it twice and diffs.
+func writeFleetstat(path string, seed int64, quiet bool) error {
+	res, err := serve.RunFleetSim(seed, 2)
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidateFleetDigestJSON(res.DigestJSON); err != nil {
+		return fmt.Errorf("fleetstat self-check: %w", err)
+	}
+	if err := os.WriteFile(path, res.DigestJSON, 0o644); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "reviewd: fleet digest for %d apps (%d journal events, %d traces) → %s\n",
+			len(res.Digest.Apps), len(res.Events), res.TracesStored, path)
+	}
+	return nil
 }

@@ -10,7 +10,13 @@
 //   - exactly one injected panic is contained as a 500 while the daemon
 //     keeps serving;
 //   - the /metrics exposition carries the serving counters with the exact
-//     expected totals;
+//     expected totals, including the per-app labeled request counters (the
+//     contained panic shows up as the app's one code="500" request);
+//   - every response carries a deterministic X-Trace-Id and the sampled
+//     explain trace is served back by /v1/trace/<id>;
+//   - /v1/events reports the registry lifecycle journal (2 registers, 2
+//     loads) and /v1/fleetstat's SLO digest validates with the exact
+//     per-app request and error counts;
 //   - graceful shutdown drains cleanly.
 //
 // Any deviation exits non-zero. Everything is offline and deterministic.
@@ -74,15 +80,25 @@ func run() error {
 	inj.Arm(faultinject.PointRequest, faultinject.Fault{
 		Err: faultinject.ErrPanic, Count: 1, Key: appB.Info.Package,
 	})
-	d := serve.NewDaemon(serve.Config{Metrics: met, Injector: inj})
+	d := serve.NewDaemon(serve.Config{
+		Metrics:  met,
+		Injector: inj,
+		// The full fleet-observability layer, as an operator would run it.
+		TraceSampleEvery: 1,
+		TraceSeed:        seed,
+		JournalCapacity:  64,
+		SLO:              &obs.SLOConfig{Availability: 0.95},
+	})
 	if err := d.Start("127.0.0.1:0"); err != nil {
 		return err
 	}
 	base := "http://" + d.Addr()
 
-	// Register both apps through the HTTP surface, like an operator would.
-	for pkg, p := range paths {
-		status, body, err := post(base+"/v1/apps", serve.RegisterRequest{App: pkg, Version: "v1", Path: p})
+	// Register both apps through the HTTP surface, like an operator would
+	// (A then B, so the journal's register order is pinned).
+	for _, data := range []*synth.AppData{appA, appB} {
+		pkg := data.Info.Package
+		status, body, err := post(base+"/v1/apps", serve.RegisterRequest{App: pkg, Version: "v1", Path: paths[pkg]})
 		if err != nil {
 			return err
 		}
@@ -220,7 +236,102 @@ func run() error {
 		}
 	}
 
-	// Metrics scrape: the serving counters are present with exact totals.
+	// Trace propagation: every response carries X-Trace-Id, and a sampled
+	// request's explain trace is served back by that ID.
+	rv0 := appA.Reviews[0]
+	traceBody, _ := json.Marshal(serve.LocalizeRequest{
+		App: appA.Info.Package, Review: rv0.Text, PublishedAt: rv0.PublishedAt.Format(time.RFC3339),
+	})
+	traceResp, err := http.Post(base+"/v1/localize", "application/json", bytes.NewReader(traceBody))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, traceResp.Body)
+	traceResp.Body.Close()
+	if traceResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("traced localize = %d", traceResp.StatusCode)
+	}
+	traceID := traceResp.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		return fmt.Errorf("localize response carries no X-Trace-Id")
+	}
+	status, body, err = get(base + "/v1/trace/" + traceID)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("trace fetch %s = %d: %s", traceID, status, body)
+	}
+	if err := obs.ValidateTraceJSON(body); err != nil {
+		return fmt.Errorf("served explain trace invalid: %w", err)
+	}
+
+	// Event journal: both apps registered (in order) and lazily loaded.
+	status, body, err = get(base + "/v1/events")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("events = %d", status)
+	}
+	var events serve.EventsResponse
+	if err := json.Unmarshal(body, &events); err != nil {
+		return err
+	}
+	if events.Total != 4 || len(events.Events) != 4 || events.Dropped != 0 {
+		return fmt.Errorf("journal = %d events (total %d, dropped %d), want exactly 4 retained", len(events.Events), events.Total, events.Dropped)
+	}
+	if events.Events[0].Type != obs.EventRegister || events.Events[0].App != appA.Info.Package ||
+		events.Events[1].Type != obs.EventRegister || events.Events[1].App != appB.Info.Package {
+		return fmt.Errorf("journal does not start with the two registers in order: %+v", events.Events[:2])
+	}
+	loads := 0
+	for _, ev := range events.Events[2:] {
+		if ev.Type != obs.EventLoad {
+			return fmt.Errorf("unexpected journal event %+v, want load", ev)
+		}
+		loads++
+	}
+	if loads != 2 {
+		return fmt.Errorf("journal has %d loads, want 2", loads)
+	}
+
+	// SLO digest: validates, and the window counts match the traffic —
+	// including appB's one injected-panic 500 as its spent error budget.
+	status, body, err = get(base + "/v1/fleetstat")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("fleetstat = %d", status)
+	}
+	if err := obs.ValidateFleetDigestJSON(body); err != nil {
+		return fmt.Errorf("fleet digest invalid: %w", err)
+	}
+	var digest obs.FleetDigest
+	if err := json.Unmarshal(body, &digest); err != nil {
+		return err
+	}
+	wantSLO := map[string][2]int64{ // app → requests, errors
+		appA.Info.Package: {int64(smokeReviews(appA)) + 2, 0}, // singles + batch + traced
+		appB.Info.Package: {int64(smokeReviews(appB)) + 1, 1}, // singles (one panicked) + retry
+	}
+	if len(digest.Apps) != len(wantSLO) {
+		return fmt.Errorf("fleet digest covers %d apps, want %d: %s", len(digest.Apps), len(wantSLO), body)
+	}
+	for _, a := range digest.Apps {
+		want, ok := wantSLO[a.App]
+		if !ok {
+			return fmt.Errorf("fleet digest has unexpected app %q", a.App)
+		}
+		if a.Requests != want[0] || a.Errors != want[1] || a.BudgetSpent != a.Errors {
+			return fmt.Errorf("fleet digest for %s: %d requests / %d errors (spent %d), want %d / %d",
+				a.App, a.Requests, a.Errors, a.BudgetSpent, want[0], want[1])
+		}
+	}
+
+	// Metrics scrape: the serving counters are present with exact totals —
+	// aggregates and the per-app labeled children side by side.
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		return err
@@ -230,12 +341,25 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	wantSingles := smokeReviews(appA) + smokeReviews(appB) + 1 // + the retry
+	wantSingles := smokeReviews(appA) + smokeReviews(appB) + 2 // + the retry + the traced request
 	wantReviews := wantSingles - 1 + n                         // panic answered no review; batch adds n
 	for _, line := range []string{
 		"counter serve_panics_total 1",
 		fmt.Sprintf("counter serve_reviews_served_total %d", wantReviews),
 		"counter serve_snapshot_loads_total 2",
+		// Per-app labeled request counters, including the contained panic
+		// as appB's single code="500" request.
+		fmt.Sprintf(`counter serve_requests_total{app=%q,code="200",route="/v1/localize"} %d`,
+			appA.Info.Package, smokeReviews(appA)+2),
+		fmt.Sprintf(`counter serve_requests_total{app=%q,code="200",route="/v1/localize"} %d`,
+			appB.Info.Package, smokeReviews(appB)),
+		fmt.Sprintf(`counter serve_requests_total{app=%q,code="500",route="/v1/localize"} 1`, appB.Info.Package),
+		// Journal events drained into labeled counters.
+		fmt.Sprintf(`counter registry_events_total{app=%q,type="load"} 1`, appA.Info.Package),
+		fmt.Sprintf(`counter registry_events_total{app=%q,type="register"} 1`, appB.Info.Package),
+		// Registry byte-budget gauges.
+		"gauge serve_registry_budget_bytes 0",
+		"gauge serve_registry_quant_bytes",
 	} {
 		if !strings.Contains(string(metrics), line) {
 			return fmt.Errorf("metrics exposition missing %q:\n%s", line, metrics)

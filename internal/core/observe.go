@@ -69,6 +69,17 @@ const (
 // percentile reporting (cmd/reviewsolver) and the obs gate.
 const ReviewLatencyMetric = "stage_" + stageReview + "_ns"
 
+// notePerApp bumps the per-app labeled child of a pipeline counter when
+// this solver carries an app label (WithAppLabel). The vec child resolves
+// through the registry's bounded label table, so a fleet of solvers sharing
+// one registry cannot grow it without limit.
+func (s *Solver) notePerApp(metric string, n int64) {
+	if s.appLabel == "" || s.rec == nil {
+		return
+	}
+	s.rec.Registry().CounterVec(metric, "app").With(s.appLabel).Add(n)
+}
+
 // simHist vends the match-similarity histogram (nil without a recorder).
 func (s *Solver) simHist() *obs.Histogram {
 	return s.rec.Histogram(metricMatchSimilarity, obs.SimilarityBuckets)

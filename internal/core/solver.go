@@ -46,6 +46,12 @@ type Solver struct {
 	// nil-safe, so the hot path pays only nil checks.
 	rec *obs.Recorder
 
+	// appLabel, when set alongside rec, additionally bumps per-app labeled
+	// children of the pipeline counters (reviews_total{app="…"}, …) so a
+	// fleet daemon sharing one registry across apps gets a per-app
+	// breakdown. Empty (the default) emits aggregate counters only.
+	appLabel string
+
 	// legacyCosine routes the phrase×candidate scans through the retired
 	// per-struct full-cosine path instead of the flattened dot kernel. The
 	// two paths produce byte-identical mappings (property-tested); the flag
@@ -231,6 +237,16 @@ func WithObserver(rec *obs.Recorder) Option {
 	return func(s *Solver) { s.rec = rec }
 }
 
+// WithAppLabel tags this solver's pipeline metrics with an app identity:
+// alongside the aggregate counters (reviews_total, …) it bumps labeled
+// children (reviews_total{app="…"}, …) in the recorder's registry, so a
+// multi-app daemon serving many solvers over one registry gets a per-app
+// breakdown. No-op without an observer; labeling never changes
+// localization output.
+func WithAppLabel(app string) Option {
+	return func(s *Solver) { s.appLabel = app }
+}
+
 // WithQAIndex installs the general-task Q&A index (§4.2.2).
 func WithQAIndex(idx *qa.Index) Option {
 	return func(s *Solver) { s.qaIndex = idx }
@@ -358,6 +374,7 @@ func (s *Solver) LocalizeReviewTraced(app *apk.App, text string, publishedAt tim
 func (s *Solver) localizeReview(app *apk.App, text string, publishedAt time.Time, tr *obs.ReviewTrace) *Result {
 	root := s.rec.Start(stageReview)
 	s.rec.Counter(metricReviews).Add(1)
+	s.notePerApp(metricReviews, 1)
 
 	cs := root.Child(stageClassify)
 	res := &Result{IsError: s.IsErrorReview(text)}
@@ -371,6 +388,7 @@ func (s *Solver) localizeReview(app *apk.App, text string, publishedAt time.Time
 		return res
 	}
 	s.rec.Counter(metricErrorReviews).Add(1)
+	s.notePerApp(metricErrorReviews, 1)
 
 	current, previous, ok := app.ReleaseBefore(publishedAt)
 	if !ok {
@@ -405,8 +423,10 @@ func (s *Solver) localizeReview(app *apk.App, text string, publishedAt time.Time
 
 	if res.Localized() {
 		s.rec.Counter(metricLocalizedReviews).Add(1)
+		s.notePerApp(metricLocalizedReviews, 1)
 	}
 	s.rec.Counter(metricMappings).Add(int64(len(res.Mappings)))
+	s.notePerApp(metricMappings, int64(len(res.Mappings)))
 	if tr != nil {
 		for i, rc := range res.Ranked {
 			tr.Ranked = append(tr.Ranked, obs.RankedTrace{

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestJournalRecordAndCounter(t *testing.T) {
+	reg := NewRegistry()
+	j := NewJournal(16, reg)
+	j.Record(EventRegister, "com.app.a", "v1", "", 100)
+	j.Record(EventLoad, "com.app.a", "v1", "", 200)
+	j.Record(EventLoadFailure, "com.app.b", "v1", "corrupt", 300)
+
+	events := j.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap[`registry_events_total{app="com.app.a",type="load"}`] != 1 {
+		t.Fatalf("labeled event counter missing: %v", snap)
+	}
+	if snap[`registry_events_total{app="com.app.b",type="load_failure"}`] != 1 {
+		t.Fatalf("load_failure counter missing: %v", snap)
+	}
+}
+
+func TestJournalRingDropsOldest(t *testing.T) {
+	j := NewJournal(4, nil)
+	for i := 0; i < 10; i++ {
+		j.Record(EventLoad, fmt.Sprintf("app-%d", i), "", "", int64(i))
+	}
+	events := j.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d, want 4", len(events))
+	}
+	if events[0].App != "app-6" || events[3].App != "app-9" {
+		t.Fatalf("ring retained wrong window: %+v", events)
+	}
+	total, retained, capacity, dropped := j.Stats()
+	if total != 10 || retained != 4 || capacity != 4 || dropped != 6 {
+		t.Fatalf("stats = %d/%d/%d/%d, want 10/4/4/6", total, retained, capacity, dropped)
+	}
+	// Counters survive ring turnover.
+	reg := NewRegistry()
+	j2 := NewJournal(2, reg)
+	for i := 0; i < 5; i++ {
+		j2.Record(EventEvict, "a", "", "", 0)
+	}
+	if got := reg.Snapshot()[`registry_events_total{app="a",type="evict"}`]; got != 5 {
+		t.Fatalf("counter across turnover = %v, want 5", got)
+	}
+}
+
+func TestJournalCodecRoundTrip(t *testing.T) {
+	j := NewJournal(8, nil)
+	j.Record(EventQuarantineEnter, "a", "v1", "probe failed", 10)
+	j.Record(EventReprobe, "a", "v1", "", 20)
+	j.Record(EventQuarantineExit, "a", "v1", "", 30)
+	data, err := EncodeEvents(j.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeEvents(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[1].Type != EventReprobe || back[0].Detail != "probe failed" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	// Encoding is deterministic.
+	again, _ := EncodeEvents(j.Events())
+	if !bytes.Equal(data, again) {
+		t.Fatal("encoding not byte-deterministic")
+	}
+	// Empty journal encodes a valid empty array.
+	empty, _ := EncodeEvents(nil)
+	if string(empty) != "[]" {
+		t.Fatalf("nil events encoded %q", empty)
+	}
+}
+
+func TestDecodeEventsTypedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want error
+	}{
+		{"not json", `{`, ErrEventJSON},
+		{"not array", `{"seq":1}`, ErrEventJSON},
+		{"unknown type", `[{"seq":1,"type":"explode","app":"a","unix_ns":1}]`, ErrEventType},
+		{"zero seq", `[{"seq":0,"type":"load","app":"a","unix_ns":1}]`, ErrEventShape},
+		{"empty app", `[{"seq":1,"type":"load","app":"","unix_ns":1}]`, ErrEventShape},
+		{"out of order", `[{"seq":2,"type":"load","app":"a","unix_ns":1},{"seq":2,"type":"load","app":"a","unix_ns":2}]`, ErrEventOrder},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeEvents([]byte(tc.data)); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	if got, err := DecodeEvents([]byte(`[]`)); err != nil || len(got) != 0 {
+		t.Fatalf("empty array: %v %v", got, err)
+	}
+}
+
+func TestJournalNilSafety(t *testing.T) {
+	var j *Journal
+	if e := j.Record(EventLoad, "a", "", "", 0); e.Seq != 0 {
+		t.Fatal("nil journal should record nothing")
+	}
+	if j.Events() != nil {
+		t.Fatal("nil journal has no events")
+	}
+	total, retained, capacity, dropped := j.Stats()
+	if total != 0 || retained != 0 || capacity != 0 || dropped != 0 {
+		t.Fatal("nil journal stats should be zero")
+	}
+	// Journal without a metrics registry still keeps the ring.
+	j2 := NewJournal(4, nil)
+	j2.Record(EventLoad, "a", "", "", 0)
+	if len(j2.Events()) != 1 {
+		t.Fatal("metric-less journal should still retain events")
+	}
+}
+
+func FuzzDecodeEvents(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"seq":1,"type":"load","app":"a","unix_ns":100}]`))
+	f.Add([]byte(`[{"seq":1,"type":"register","app":"com.x","version":"v1","detail":"d","unix_ns":1},{"seq":2,"type":"hot_swap","app":"com.x","version":"v2","unix_ns":2}]`))
+	f.Add([]byte(`[{"seq":2,"type":"load","app":"a"},{"seq":1,"type":"load","app":"a"}]`))
+	f.Add([]byte(`[{"seq":0,"type":"nope","app":""}]`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := DecodeEvents(data) // must never panic
+		if err != nil {
+			if !errors.Is(err, ErrEventJSON) && !errors.Is(err, ErrEventType) &&
+				!errors.Is(err, ErrEventOrder) && !errors.Is(err, ErrEventShape) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Accepted input must survive a re-encode/re-decode round trip.
+		enc, err := EncodeEvents(events)
+		if err != nil {
+			t.Fatalf("re-encode of accepted events failed: %v", err)
+		}
+		back, err := DecodeEvents(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed length: %d != %d", len(back), len(events))
+		}
+		for i := range back {
+			if back[i] != events[i] {
+				t.Fatalf("round trip changed event %d: %+v != %+v", i, back[i], events[i])
+			}
+		}
+	})
+}

@@ -76,6 +76,21 @@ func (r *Recorder) Start(stage string) *Span {
 	return &Span{rec: r, stage: stage, start: time.Now()}
 }
 
+// StartCtx is Start plus trace propagation: if ctx carries a TraceContext
+// (see WithTraceContext), the span — and every child derived from it —
+// logs the request's trace ID, so the span tree of one request is
+// reassemblable across the whole serving path. Nil-safe.
+func (r *Recorder) StartCtx(ctx context.Context, stage string) *Span {
+	if r == nil {
+		return nil
+	}
+	sp := &Span{rec: r, stage: stage, start: time.Now()}
+	if tc, ok := TraceContextFrom(ctx); ok {
+		sp.trace = tc.ID
+	}
+	return sp
+}
+
 // Span is one timed pipeline stage. The duration uses the monotonic clock
 // (time.Since); parent/child structure is carried as the parent stage name
 // so the emitted events form a deterministic tree for a fixed pipeline.
@@ -83,16 +98,25 @@ type Span struct {
 	rec    *Recorder
 	stage  string
 	parent string
+	trace  string // request trace ID; "" outside a traced request
 	start  time.Time
 }
 
-// Child opens a sub-span under this span. Nil-safe: a nil span returns a
-// nil (no-op) child.
+// Child opens a sub-span under this span, inheriting its trace ID.
+// Nil-safe: a nil span returns a nil (no-op) child.
 func (sp *Span) Child(stage string) *Span {
 	if sp == nil {
 		return nil
 	}
-	return &Span{rec: sp.rec, stage: stage, parent: sp.stage, start: time.Now()}
+	return &Span{rec: sp.rec, stage: stage, parent: sp.stage, trace: sp.trace, start: time.Now()}
+}
+
+// TraceID returns the trace ID riding the span ("" on nil or untraced).
+func (sp *Span) TraceID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.trace
 }
 
 // Stage returns the span's stage name ("" on nil).
@@ -116,10 +140,15 @@ func (sp *Span) End() time.Duration {
 	sp.rec.Counter("stage_" + sp.stage + "_calls_total").Add(1)
 	sp.rec.Histogram("stage_"+sp.stage+"_ns", LatencyBucketsNs).Observe(float64(d.Nanoseconds()))
 	if sp.rec.logger != nil {
-		sp.rec.logger.LogAttrs(context.Background(), slog.LevelInfo, "span",
+		attrs := make([]slog.Attr, 0, 4)
+		attrs = append(attrs,
 			slog.String("stage", sp.stage),
-			slog.String("parent", sp.parent),
-			slog.Int64("ns", d.Nanoseconds()))
+			slog.String("parent", sp.parent))
+		if sp.trace != "" {
+			attrs = append(attrs, slog.String("trace", sp.trace))
+		}
+		attrs = append(attrs, slog.Int64("ns", d.Nanoseconds()))
+		sp.rec.logger.LogAttrs(context.Background(), slog.LevelInfo, "span", attrs...)
 	}
 	return d
 }

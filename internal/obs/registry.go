@@ -40,6 +40,13 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	// Label vectors (labels.go). A vec's children are ordinary metrics in
+	// the maps above under their rendered "name{k="v"}" keys, so Snapshot
+	// and WriteText expose labeled metrics with no extra machinery.
+	cvecs map[string]*CounterVec
+	gvecs map[string]*GaugeVec
+	hvecs map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
@@ -48,6 +55,9 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		cvecs:    make(map[string]*CounterVec),
+		gvecs:    make(map[string]*GaugeVec),
+		hvecs:    make(map[string]*HistogramVec),
 	}
 }
 

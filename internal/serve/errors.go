@@ -36,6 +36,9 @@ var (
 	ErrInternal = errors.New("serve: internal error")
 	// ErrBadRequest: the request body or parameters did not parse. 400.
 	ErrBadRequest = errors.New("serve: bad request")
+	// ErrUnknownTrace: /v1/trace/<id> named a trace that was never sampled
+	// or has been evicted from the bounded trace store. 404.
+	ErrUnknownTrace = errors.New("serve: unknown trace")
 )
 
 // StatusFor maps a typed serving error to its HTTP status code.
@@ -43,7 +46,7 @@ func StatusFor(err error) int {
 	switch {
 	case err == nil:
 		return http.StatusOK
-	case errors.Is(err, ErrUnknownApp):
+	case errors.Is(err, ErrUnknownApp), errors.Is(err, ErrUnknownTrace):
 		return http.StatusNotFound
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
@@ -66,6 +69,8 @@ func KindFor(err error) string {
 		return ""
 	case errors.Is(err, ErrUnknownApp):
 		return "unknown_app"
+	case errors.Is(err, ErrUnknownTrace):
+		return "unknown_trace"
 	case errors.Is(err, ErrQueueFull):
 		return "queue_full"
 	case errors.Is(err, ErrQuarantined):

@@ -40,6 +40,8 @@ const (
 	metricRegistryApps     = "serve_registry_apps"
 	metricRegistryResident = "serve_registry_resident"
 	metricRegistryBytes    = "serve_registry_loaded_bytes"
+	metricRegistryBudget   = "serve_registry_budget_bytes"
+	metricRegistryQuant    = "serve_registry_quant_bytes"
 
 	metricLoads         = "serve_snapshot_loads_total"
 	metricLoadFailures  = "serve_snapshot_load_failures_total"
@@ -48,6 +50,7 @@ const (
 	metricHotSwaps      = "serve_hotswaps_total"
 	metricQuarantined   = "serve_quarantined_total"
 	metricQuarRejects   = "serve_quarantine_rejects_total"
+	metricReprobes      = "serve_quarantine_reprobes_total"
 	metricQuarRecovered = "serve_quarantine_recovered_total"
 	metricRetiredFreed  = "serve_retired_released_total"
 )
@@ -91,6 +94,9 @@ type entry struct {
 	solver *core.Solver
 	pool   *core.Pool
 	bytes  int64
+	// quantBytes is the quantized-tier share of bytes, tracked separately
+	// so /metrics can expose how much of the budget the tiers consume.
+	quantBytes int64
 
 	refs     int  // in-flight leases
 	retired  bool // hot-swapped out; frees when refs drain
@@ -117,6 +123,12 @@ type RegistryConfig struct {
 	Injector *faultinject.Injector
 	// Metrics receives registry gauges and counters; nil disables them.
 	Metrics *obs.Registry
+	// Journal receives lifecycle events (load, evict, hot-swap, quarantine
+	// transitions); nil disables the event journal.
+	Journal *obs.Journal
+	// Clock is the injectable time source for quarantine backoff and
+	// journal timestamps; nil means time.Now.
+	Clock func() time.Time
 }
 
 // Registry is the resident-snapshot table. Safe for concurrent use.
@@ -128,16 +140,22 @@ type Registry struct {
 	total   int64             // resident bytes
 
 	budget      int64
+	quantTotal  int64 // resident quantized-tier bytes (subset of total)
 	poolWorkers int
 	loadOpts    []core.Option
 	inj         *faultinject.Injector
 	met         *obs.Registry
+	journal     *obs.Journal
 	now         func() time.Time // injectable clock for backoff tests
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry(cfg RegistryConfig) *Registry {
-	return &Registry{
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	r := &Registry{
 		entries:     make(map[string]*entry),
 		latest:      make(map[string]string),
 		lru:         list.New(),
@@ -146,8 +164,20 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 		loadOpts:    cfg.LoadOptions,
 		inj:         cfg.Injector,
 		met:         cfg.Metrics,
-		now:         time.Now,
+		journal:     cfg.Journal,
+		now:         now,
 	}
+	r.met.Gauge(metricRegistryBudget).Set(cfg.MaxBytes)
+	return r
+}
+
+// note appends one lifecycle event to the registry journal (no-op without
+// one), stamping it from the registry clock.
+func (r *Registry) note(typ obs.EventType, app, version, detail string) {
+	if r.journal == nil {
+		return
+	}
+	r.journal.Record(typ, app, version, detail, r.now().UnixNano())
 }
 
 // Register adds (or hot-swaps) a snapshot served from a .snap file. The
@@ -169,6 +199,9 @@ func (r *Registry) register(e *entry) {
 	if old := r.entries[key]; old != nil {
 		r.retireLocked(old)
 		r.met.Counter(metricHotSwaps).Add(1)
+		r.note(obs.EventHotSwap, e.app, e.version, "")
+	} else {
+		r.note(obs.EventRegister, e.app, e.version, "")
 	}
 	r.entries[key] = e
 	r.latest[e.app] = key
@@ -192,13 +225,16 @@ func (r *Registry) retireLocked(old *entry) {
 // freeLocked drops a resident snapshot's memory and accounting.
 func (r *Registry) freeLocked(e *entry) {
 	r.total -= e.bytes
+	r.quantTotal -= e.quantBytes
 	e.snap, e.appIR, e.solver, e.pool = nil, nil, nil, nil
-	e.bytes = 0
+	e.bytes, e.quantBytes = 0, 0
 	e.state = stateCold
 	if e.retired {
 		r.met.Counter(metricRetiredFreed).Add(1)
+		r.note(obs.EventRetireFreed, e.app, e.version, "")
 	}
 	r.met.Gauge(metricRegistryBytes).Set(r.total)
+	r.met.Gauge(metricRegistryQuant).Set(r.quantTotal)
 	r.met.Gauge(metricRegistryResident).Set(int64(r.lru.Len()))
 }
 
@@ -281,6 +317,8 @@ func (r *Registry) Acquire(ctx context.Context, app, version string) (*Lease, er
 				}
 			}
 			// Backoff elapsed: this request probes the snapshot again.
+			r.met.Counter(metricReprobes).Add(1)
+			r.note(obs.EventReprobe, e.app, e.version, "")
 		case stateCold:
 		}
 
@@ -315,7 +353,10 @@ func (r *Registry) load(ctx context.Context, e *entry) error {
 			img, err = os.ReadFile(e.path)
 		}
 		if err == nil {
-			snap, app, err = core.LoadSnapshotBytes(img, r.loadOpts...)
+			// The entry's solvers carry its app identity so per-app labeled
+			// pipeline counters land in the shared registry.
+			opts := append(append([]core.Option(nil), r.loadOpts...), core.WithAppLabel(e.app))
+			snap, app, err = core.LoadSnapshotBytes(img, opts...)
 			if err == nil {
 				// An entry's cost is the retained image plus whatever the
 				// quantized scan tiers allocated beyond it (lazily built
@@ -345,6 +386,8 @@ func (r *Registry) load(ctx context.Context, e *entry) error {
 		e.probeAt = r.now().Add(quarantineBackoff(e.failures))
 		r.met.Counter(metricLoadFailures).Add(1)
 		r.met.Counter(metricQuarantined).Add(1)
+		r.note(obs.EventLoadFailure, e.app, e.version, err.Error())
+		r.note(obs.EventQuarantineEnter, e.app, e.version, "")
 		return fmt.Errorf("%w: %s: %w", ErrSnapshotLoad, key, err)
 	}
 
@@ -358,17 +401,22 @@ func (r *Registry) load(ctx context.Context, e *entry) error {
 	e.solver = core.NewWithSnapshot(snap)
 	e.pool = core.NewPoolWithSnapshot(r.poolWorkers, snap)
 	e.bytes = size
+	e.quantBytes = snap.QuantBytes()
 	e.loads++
 	if e.failures > 0 {
 		e.failures = 0
 		r.met.Counter(metricQuarRecovered).Add(1)
+		r.note(obs.EventQuarantineExit, e.app, e.version, "")
 	}
 	e.state = stateLive
 	r.total += size
+	r.quantTotal += e.quantBytes
 	r.lruInsertLocked(e)
 	r.evictLocked()
 	r.met.Counter(metricLoads).Add(1)
+	r.note(obs.EventLoad, e.app, e.version, "")
 	r.met.Gauge(metricRegistryBytes).Set(r.total)
+	r.met.Gauge(metricRegistryQuant).Set(r.quantTotal)
 	r.met.Gauge(metricRegistryResident).Set(int64(r.lru.Len()))
 	return nil
 }
@@ -418,6 +466,7 @@ func (r *Registry) evictLocked() {
 			e.lruElem = nil
 			r.freeLocked(e)
 			r.met.Counter(metricEvictions).Add(1)
+			r.note(obs.EventEvict, e.app, e.version, "")
 		}
 		el = prev
 	}

@@ -60,6 +60,25 @@ type Config struct {
 	Injector *faultinject.Injector
 	// Metrics receives all serving metrics; nil disables them.
 	Metrics *obs.Registry
+
+	// TraceSampleEvery enables request tracing: every request gets a
+	// deterministic trace ID (X-Trace-Id header, span propagation), and
+	// every Nth request's full explain trace is retained for
+	// /v1/trace/<id>. 0 (the default) disables tracing entirely.
+	TraceSampleEvery int
+	// TraceSeed seeds the deterministic trace-ID sequence. Default 1.
+	TraceSeed int64
+	// TraceCapacity bounds the retained sampled traces. Default 256.
+	TraceCapacity int
+	// JournalCapacity enables the registry lifecycle event journal
+	// (/v1/events) with a ring of that many records. 0 disables it.
+	JournalCapacity int
+	// SLO enables rolling-window per-app SLO/error-budget tracking
+	// (/v1/fleetstat). Nil disables it; the config's Now defaults to Clock.
+	SLO *obs.SLOConfig
+	// Clock is the injectable time source for journal timestamps,
+	// quarantine backoff, and SLO windows; nil means time.Now.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +110,13 @@ type Daemon struct {
 	met *obs.Registry
 	inj *faultinject.Injector
 
+	// Fleet observability (all nil when off — every use is nil-safe).
+	rec     *obs.Recorder
+	tsrc    *obs.TraceSource
+	traces  *obs.TraceStore
+	journal *obs.Journal
+	slo     *obs.SLOTracker
+
 	mux      *http.ServeMux
 	srv      *http.Server
 	ln       net.Listener
@@ -110,24 +136,54 @@ type appQueue struct {
 // NewDaemon builds a daemon (registry included) from the config.
 func NewDaemon(cfg Config) *Daemon {
 	cfg = cfg.withDefaults()
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
 	d := &Daemon{
-		cfg: cfg,
-		reg: NewRegistry(RegistryConfig{
-			MaxBytes:    cfg.MaxBytes,
-			PoolWorkers: cfg.PoolWorkers,
-			LoadOptions: cfg.LoadOptions,
-			Injector:    cfg.Injector,
-			Metrics:     cfg.Metrics,
-		}),
+		cfg:    cfg,
 		met:    cfg.Metrics,
 		inj:    cfg.Injector,
 		queues: make(map[string]*appQueue),
 	}
+	if cfg.Metrics != nil {
+		d.rec = obs.NewRecorder(cfg.Metrics, nil)
+	}
+	if cfg.JournalCapacity > 0 {
+		d.journal = obs.NewJournal(cfg.JournalCapacity, cfg.Metrics)
+	}
+	if cfg.TraceSampleEvery > 0 {
+		seed := cfg.TraceSeed
+		if seed == 0 {
+			seed = 1
+		}
+		d.tsrc = obs.NewTraceSource(seed, cfg.TraceSampleEvery)
+		d.traces = obs.NewTraceStore(cfg.TraceCapacity)
+	}
+	if cfg.SLO != nil {
+		sc := *cfg.SLO
+		if sc.Now == nil {
+			sc.Now = clock
+		}
+		d.slo = obs.NewSLOTracker(sc)
+	}
+	d.reg = NewRegistry(RegistryConfig{
+		MaxBytes:    cfg.MaxBytes,
+		PoolWorkers: cfg.PoolWorkers,
+		LoadOptions: cfg.LoadOptions,
+		Injector:    cfg.Injector,
+		Metrics:     cfg.Metrics,
+		Journal:     d.journal,
+		Clock:       cfg.Clock,
+	})
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/localize", d.endpoint("localize", d.handleLocalize))
-	mux.HandleFunc("POST /v1/classify", d.endpoint("classify", d.handleClassify))
-	mux.HandleFunc("GET /v1/apps", d.endpoint("apps", d.handleApps))
-	mux.HandleFunc("POST /v1/apps", d.endpoint("register", d.handleRegister))
+	mux.HandleFunc("POST /v1/localize", d.endpoint("localize", "/v1/localize", d.handleLocalize))
+	mux.HandleFunc("POST /v1/classify", d.endpoint("classify", "/v1/classify", d.handleClassify))
+	mux.HandleFunc("GET /v1/apps", d.endpoint("apps", "/v1/apps", d.handleApps))
+	mux.HandleFunc("POST /v1/apps", d.endpoint("register", "/v1/apps", d.handleRegister))
+	mux.HandleFunc("GET /v1/trace/{id}", d.endpoint("trace", "/v1/trace/{id}", d.handleTrace))
+	mux.HandleFunc("GET /v1/events", d.endpoint("events", "/v1/events", d.handleEvents))
+	mux.HandleFunc("GET /v1/fleetstat", d.endpoint("fleetstat", "/v1/fleetstat", d.handleFleetstat))
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = d.met.WriteText(w)
@@ -186,33 +242,46 @@ func (d *Daemon) Close() error {
 // --- middleware ------------------------------------------------------------------
 
 // endpoint wraps a handler with the serving spine: drain refusal, request
-// counting, per-endpoint latency histograms, the per-request deadline, and
-// panic containment (a panicking request answers 500 and increments a
+// counting (aggregate and per-app labeled), trace-context minting, the
+// per-request deadline, per-endpoint latency histograms, SLO accounting,
+// and panic containment (a panicking request answers 500 and increments a
 // counter; the daemon never dies).
-func (d *Daemon) endpoint(name string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+func (d *Daemon) endpoint(name, route string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	hist := "serve_http_" + name + "_ns"
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		d.met.Counter(metricRequests).Add(1)
+		ri := &reqInfo{}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		ctx := r.Context()
+		if d.tsrc != nil {
+			tc := d.tsrc.Next()
+			ctx = obs.WithTraceContext(ctx, tc)
+			sw.Header().Set("X-Trace-Id", tc.ID)
+			ri.span = d.rec.StartCtx(ctx, "serve_"+name)
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				d.met.Counter(metricPanics).Add(1)
-				d.writeError(w, fmt.Errorf("%w: recovered panic: %v", ErrInternal, p))
+				d.writeError(sw, fmt.Errorf("%w: recovered panic: %v", ErrInternal, p))
 			}
-			d.met.Histogram(hist, obs.LatencyBucketsNs).Observe(float64(time.Since(start).Nanoseconds()))
+			elapsed := time.Since(start)
+			d.met.Histogram(hist, obs.LatencyBucketsNs).Observe(float64(elapsed.Nanoseconds()))
+			ri.span.End()
+			d.noteRequest(ri.app, route, sw.status, elapsed)
 		}()
 		if d.draining.Load() {
-			d.writeError(w, ErrShutdown)
+			d.writeError(sw, ErrShutdown)
 			return
 		}
-		ctx := r.Context()
 		if d.cfg.RequestTimeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, d.cfg.RequestTimeout)
 			defer cancel()
 		}
-		if err := h(w, r.WithContext(ctx)); err != nil {
-			d.writeError(w, err)
+		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
+		if err := h(sw, r.WithContext(ctx)); err != nil {
+			d.writeError(sw, err)
 		}
 	}
 }
@@ -227,6 +296,7 @@ func (d *Daemon) admit(ctx context.Context, app string) (release func(), err err
 		w := q.waiting.Load()
 		if w >= depth {
 			d.met.Counter(metricShed).Add(1)
+			d.met.CounterVec(metricShed, "app").With(app).Add(1)
 			return nil, &RetryAfterError{
 				Err:   fmt.Errorf("%w: %d requests already queued for %s", ErrQueueFull, w, app),
 				After: shedRetryAfter,
@@ -400,14 +470,20 @@ func (d *Daemon) handleLocalize(w http.ResponseWriter, r *http.Request) error {
 	if single && len(req.Reviews) > 0 {
 		return fmt.Errorf("%w: review and reviews are mutually exclusive", ErrBadRequest)
 	}
+	noteApp(ctx, req.App)
+	span := requestSpan(ctx)
 
+	as := span.Child("serve_admit")
 	release, err := d.admit(ctx, req.App)
+	as.End()
 	if err != nil {
 		return err
 	}
 	defer release()
 
+	ls := span.Child("serve_lease")
 	lease, err := d.reg.Acquire(ctx, req.App, req.Version)
+	ls.End()
 	if err != nil {
 		return err
 	}
@@ -423,7 +499,21 @@ func (d *Daemon) handleLocalize(w http.ResponseWriter, r *http.Request) error {
 		if err != nil {
 			return err
 		}
-		res := lease.Solver.LocalizeReview(lease.App, req.Review, when)
+		lz := span.Child("serve_localize")
+		var res *core.Result
+		if tc, _ := obs.TraceContextFrom(ctx); tc.Sampled {
+			// Sampled request: retain the full explain trace under the
+			// request's trace ID for /v1/trace/<id> — the same ReviewTrace
+			// artifact `reviewsolver -explain` writes.
+			var tr *obs.ReviewTrace
+			res, tr = lease.Solver.LocalizeReviewTraced(lease.App, req.Review, when)
+			if data, jerr := tr.JSON(); jerr == nil {
+				d.traces.Put(tc.ID, data)
+			}
+		} else {
+			res = lease.Solver.LocalizeReview(lease.App, req.Review, when)
+		}
+		lz.End()
 		resp.Results = append(resp.Results, ResultToJSON(req.Review, res))
 		d.met.Counter(metricReviews).Add(1)
 		return writeJSON(w, http.StatusOK, resp)
@@ -444,6 +534,8 @@ func (d *Daemon) handleLocalize(w http.ResponseWriter, r *http.Request) error {
 		in <- ri
 	}
 	close(in)
+	lz := span.Child("serve_localize_batch")
+	defer lz.End()
 	got := 0
 	for cr := range lease.Pool.LocalizeCorpusContext(ctx, lease.App, in) {
 		resp.Results = append(resp.Results, ResultToJSON(inputs[cr.Index].Text, cr.Result))
