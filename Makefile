@@ -5,7 +5,7 @@ GO      ?= go
 BENCHDIR ?= bench
 TOL     ?= 0.02
 
-.PHONY: ci ci-fast fmt vet build test race benchgate bench bench-all obs-smoke serve-smoke fleetobs-smoke fuzz-smoke snapshot profile update-baselines clean
+.PHONY: ci ci-fast fmt vet build test race benchgate bench bench-all obs-smoke serve-smoke fleetobs-smoke delta-smoke fuzz-smoke snapshot profile update-baselines clean
 
 ci:
 	./ci.sh
@@ -68,12 +68,26 @@ fleetobs-smoke:
 	cmp /tmp/fleetstat-a.json /tmp/fleetstat-b.json
 	@rm -f /tmp/fleetstat-a.json /tmp/fleetstat-b.json
 
+# Incremental-rebuild smoke: compile a base snapshot, write a delta against
+# it twice with the incremental extraction path (must be byte-identical),
+# verify the delta round-trips and localizes like the direct build, and run
+# one iteration of the version-bump rebuild benchmark.
+delta-smoke:
+	$(GO) run ./cmd/snapshotc -app $(SNAPAPP) -o /tmp/delta-base.snap -q
+	$(GO) run ./cmd/snapshotc -app $(SNAPAPP) -base /tmp/delta-base.snap -o /tmp/delta-a.snap -verify -q
+	$(GO) run ./cmd/snapshotc -app $(SNAPAPP) -base /tmp/delta-base.snap -o /tmp/delta-b.snap -q
+	cmp /tmp/delta-a.snap /tmp/delta-b.snap
+	@rm -f /tmp/delta-base.snap /tmp/delta-a.snap /tmp/delta-b.snap
+	$(GO) test -run '^$$' -bench DeltaRebuild -benchtime 1x ./internal/synth
+
 # Short fuzz runs over the hostile-input surfaces: the snapshot container
-# decoder and the full snapshot loader. Both must return typed errors, never
-# panic. (The committed seed corpora live under */testdata/fuzz/.)
+# decoder, the full snapshot loader, and the delta-section decoder. All must
+# return typed errors, never panic. (The committed seed corpora live under
+# */testdata/fuzz/.)
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzOpen -fuzztime 5s ./internal/snapfile
 	$(GO) test -run '^$$' -fuzz FuzzLoadSnapshotBytes -fuzztime 5s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzLoadSnapshotDeltaImages -fuzztime 5s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzDecodeEvents -fuzztime 5s ./internal/obs
 
 # Compile (and verify) the snapshot of one built-in app. Override with e.g.

@@ -33,9 +33,10 @@ go test ./...
 step "go test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/... ./internal/serve/..."
 go test -race ./internal/core/... ./internal/obs/... ./internal/snapfile/... ./internal/wordvec/... ./internal/serve/...
 
-step "fuzz smoke (snapfile decode + snapshot load + event journal codec: typed errors, no panics)"
+step "fuzz smoke (snapfile decode + snapshot load + delta decode + event journal codec: typed errors, no panics)"
 go test -run '^$' -fuzz FuzzOpen -fuzztime 5s ./internal/snapfile
 go test -run '^$' -fuzz FuzzLoadSnapshotBytes -fuzztime 5s ./internal/core
+go test -run '^$' -fuzz FuzzLoadSnapshotDeltaImages -fuzztime 5s ./internal/core
 go test -run '^$' -fuzz FuzzDecodeEvents -fuzztime 5s ./internal/obs
 
 # One temp dir holds the compiled snapshot artifact shared by the
@@ -50,7 +51,12 @@ go build -o "$SNAPDIR/snapshotc" ./cmd/snapshotc
 "$SNAPDIR/snapshotc" -app "$SNAPAPP" -o "$SNAPDIR/again.snap" -q
 cmp "$SNAPDIR/app.snap" "$SNAPDIR/again.snap"
 
-step "benchgate (tier-1 table metric drift + kernel scan stats + telemetry totals + front-end allocs + snapshot gate + exact fleetobs gate)"
+step "delta determinism (snapshotc -base: incremental extraction writes identical delta bytes, round-trip verified)"
+"$SNAPDIR/snapshotc" -app "$SNAPAPP" -base "$SNAPDIR/app.snap" -o "$SNAPDIR/delta.snap" -verify -q
+"$SNAPDIR/snapshotc" -app "$SNAPAPP" -base "$SNAPDIR/app.snap" -o "$SNAPDIR/delta2.snap" -q
+cmp "$SNAPDIR/delta.snap" "$SNAPDIR/delta2.snap"
+
+step "benchgate (tier-1 table metric drift + kernel scan stats + telemetry totals + front-end allocs + snapshot gate + exact fleetobs gate + exact delta gate)"
 go run ./cmd/benchgate -dir "${BENCHDIR:-bench}" -tol "${TOL:-0.02}"
 
 step "fleetobs smoke (reviewd -fleetstat artifact is byte-identical across runs)"
@@ -73,6 +79,7 @@ go run ./cmd/servesmoke
 
 step "bench smoke (kernel benchmarks, 1 iteration)"
 go test -run xxx -bench 'CosineVsDot|MatrixScan|LocalizeReview|KernelVsLegacy|CorpusThroughput|FleetScan' -benchtime 1x .
+go test -run xxx -bench DeltaRebuild -benchtime 1x ./internal/synth
 
 echo ""
 echo "CI PASS"

@@ -56,7 +56,7 @@ func run() error {
 	var (
 		dir    = flag.String("dir", "bench", "directory holding BENCH_<n>.json snapshots")
 		tol    = flag.Float64("tol", 0.02, "relative drift tolerance per metric")
-		tables = flag.String("tables", "1-16", "tables to gate (comma list with ranges, e.g. 1,2,8-10)")
+		tables = flag.String("tables", "1-17", "tables to gate (comma list with ranges, e.g. 1,2,8-10)")
 		seed   = flag.Int64("seed", 1, "generator seed (must match the stored baselines)")
 		kernel = flag.Bool("kernel", true, "also gate the similarity-kernel scan snapshot (BENCH_KERNEL.json)")
 		obsFlg = flag.Bool("obs", true, "also gate the telemetry registry snapshot (BENCH_OBS.json)")
@@ -64,6 +64,7 @@ func run() error {
 		snapFl = flag.Bool("snapshot", true, "also gate the snapshot image structure and load equivalence (BENCH_SNAPSHOT.json)")
 		srvFlg = flag.Bool("serve", true, "also gate the serving layer: response exactness, admission counts, failure mapping, perf pins (BENCH_SERVE.json)")
 		fleetF = flag.Bool("fleetobs", true, "also gate fleet observability: labeled metrics, journal event sequence, SLO budget arithmetic, exactly (BENCH_FLEETOBS.json)")
+		deltaF = flag.Bool("delta", true, "also gate incremental rebuilds: diff counts, row reuse, delta-vs-full mismatch pins, change-aware table metrics (BENCH_DELTA.json)")
 		update = flag.Bool("update", false, "rewrite the baselines from this run")
 	)
 	flag.Parse()
@@ -191,6 +192,25 @@ func run() error {
 		// Every fleetobs metric is a count or a budget from a
 		// byte-deterministic scenario — gate with zero tolerance.
 		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, 0, *update, "fleetobs")
+		if err != nil {
+			return err
+		}
+		if madeBaseline {
+			created++
+		}
+		if drifted {
+			failed++
+		}
+	}
+	if *deltaF {
+		cur, err := deltaSnapshot(*seed, runner)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*dir, "BENCH_DELTA.json")
+		// Diff counts, row accounting, and equivalence pins are all exact
+		// integers from a deterministic chain — gate with zero tolerance.
+		madeBaseline, drifted, err := gateSnapshot(path, cur, *seed, 0, *update, "delta   ")
 		if err != nil {
 			return err
 		}
@@ -350,8 +370,8 @@ func parseTables(spec string) ([]int, error) {
 	var out []int
 	seen := make(map[int]struct{})
 	add := func(n int) error {
-		if n < 1 || n > 16 {
-			return fmt.Errorf("table %d out of range 1–16", n)
+		if n < 1 || n > 17 {
+			return fmt.Errorf("table %d out of range 1–17", n)
 		}
 		if _, dup := seen[n]; !dup {
 			seen[n] = struct{}{}

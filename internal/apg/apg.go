@@ -8,6 +8,7 @@ package apg
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"reviewsolver/internal/apk"
 )
@@ -38,12 +39,20 @@ type Graph struct {
 	methods map[ref]*apk.Method
 	// callSites indexes invocation sites by callee (class, method).
 	callSites map[ref][]Site
-	// callers/callees are the MCG edges restricted to app methods, keyed
-	// and valued by qualified name (the form ranking consumes).
+	// mcgOnce guards the lazy MCG structures below: no extraction phase
+	// reads them, so Build keeps them off the snapshot-rebuild critical
+	// path and the first ranking query pays the derivation once per graph.
+	mcgOnce sync.Once
+	// callers is the MCG edge list restricted to app methods, keyed and
+	// valued by qualified name (the form ranking consumes).
 	callers map[string][]string
-	callees map[string][]string
 	// classDeps maps a class to the set of app classes it invokes.
 	classDeps map[string]map[string]struct{}
+
+	// methodsSorted memoizes Methods(): the sort is O(n log n) with a
+	// string comparator and three extraction passes used to pay it each.
+	methodsOnce   sync.Once
+	methodsSorted []*apk.Method
 }
 
 // Build constructs the graph for a release.
@@ -56,22 +65,10 @@ func Build(r *apk.Release) *Graph {
 		release:   r,
 		methods:   make(map[ref]*apk.Method, methodCount),
 		callSites: make(map[ref][]Site, methodCount),
-		callers:   make(map[string][]string, methodCount),
-		callees:   make(map[string][]string, methodCount),
-		classDeps: make(map[string]map[string]struct{}, len(r.Classes)),
 	}
-	appClasses := make(map[string]struct{}, len(r.Classes))
-	for _, c := range r.Classes {
-		appClasses[c.Name] = struct{}{}
-	}
-	// calleeName interns the qualified callee strings the MCG edge lists
-	// need, so each distinct app-internal callee is concatenated once, not
-	// once per invocation site. Framework callees never need the string.
-	calleeName := make(map[ref]string, methodCount)
 	for _, c := range r.Classes {
 		for _, m := range c.Methods {
 			g.methods[ref{m.Class, m.Name}] = m
-			from := "" // built on first app-internal callee only
 			for i := range m.Statements {
 				st := &m.Statements[i]
 				if st.Op != apk.OpInvoke {
@@ -79,30 +76,51 @@ func Build(r *apk.Release) *Graph {
 				}
 				k := ref{st.InvokeClass, st.InvokeMethod}
 				g.callSites[k] = append(g.callSites[k], Site{Method: m, StmtIdx: i})
-				if _, isApp := appClasses[st.InvokeClass]; isApp {
-					callee, ok := calleeName[k]
-					if !ok {
-						callee = st.Callee()
-						calleeName[k] = callee
-					}
-					if from == "" {
-						from = m.QualifiedName()
-					}
-					g.callees[from] = append(g.callees[from], callee)
-					g.callers[callee] = append(g.callers[callee], from)
-					if st.InvokeClass != c.Name {
-						deps, ok := g.classDeps[c.Name]
-						if !ok {
-							deps = make(map[string]struct{})
-							g.classDeps[c.Name] = deps
-						}
-						deps[st.InvokeClass] = struct{}{}
-					}
-				}
 			}
 		}
 	}
 	return g
+}
+
+// mcg derives the app-internal MCG edges and the class dependency relation
+// from the call-site index, once, on first ranking-time use. Edge
+// multiplicity matches the eager construction (one edge per invocation
+// site), and every accessor sorts or counts, so the map-iteration build
+// order never reaches a caller.
+func (g *Graph) mcg() {
+	g.mcgOnce.Do(func() {
+		appClasses := make(map[string]struct{}, len(g.release.Classes))
+		for _, c := range g.release.Classes {
+			appClasses[c.Name] = struct{}{}
+		}
+		g.callers = make(map[string][]string)
+		g.classDeps = make(map[string]map[string]struct{})
+		// fromName interns each caller's qualified name: one concatenation
+		// per method with app-internal callees, not one per site.
+		fromName := make(map[*apk.Method]string)
+		for k, sites := range g.callSites {
+			if _, isApp := appClasses[k.class]; !isApp {
+				continue
+			}
+			callee := k.class + "." + k.method
+			for _, s := range sites {
+				from, ok := fromName[s.Method]
+				if !ok {
+					from = s.Method.QualifiedName()
+					fromName[s.Method] = from
+				}
+				g.callers[callee] = append(g.callers[callee], from)
+				if k.class != s.Method.Class {
+					deps, ok := g.classDeps[s.Method.Class]
+					if !ok {
+						deps = make(map[string]struct{})
+						g.classDeps[s.Method.Class] = deps
+					}
+					deps[k.class] = struct{}{}
+				}
+			}
+		}
+	})
 }
 
 // Release returns the release the graph was built from.
@@ -124,15 +142,49 @@ func (g *Graph) MethodRef(class, name string) (*apk.Method, bool) {
 	return m, ok
 }
 
-// Methods returns all app methods, sorted by qualified name.
+// Methods returns all app methods, sorted by qualified name. The sorted
+// slice is memoized (several extraction passes iterate it); callers must
+// treat it as read-only.
 func (g *Graph) Methods() []*apk.Method {
-	out := make([]*apk.Method, 0, len(g.methods))
-	for _, m := range g.methods {
-		out = append(out, m)
-	}
-	sort.Slice(out, func(i, j int) bool { return qualifiedLess(out[i], out[j]) })
-	return out
+	g.methodsOnce.Do(func() {
+		out := make([]*apk.Method, 0, len(g.methods))
+		for _, m := range g.methods {
+			out = append(out, m)
+		}
+		sort.Slice(out, func(i, j int) bool { return qualifiedLess(out[i], out[j]) })
+		g.methodsSorted = out
+	})
+	return g.methodsSorted
 }
+
+// AdoptMethodOrder installs a pre-sorted method list as the Methods()
+// memo, skipping the O(n log n) sort — incremental rebuilds produce the
+// order by merging the previous release's sorted list with the few changed
+// methods. The list is validated cheaply (length and strict qualified-name
+// order); it must contain exactly the graph's methods. Returns false (and
+// adopts nothing) when validation fails or Methods() already materialized.
+func (g *Graph) AdoptMethodOrder(ms []*apk.Method) bool {
+	if len(ms) != len(g.methods) {
+		return false
+	}
+	for i := 1; i < len(ms); i++ {
+		if !qualifiedLess(ms[i-1], ms[i]) {
+			return false
+		}
+	}
+	adopted := false
+	g.methodsOnce.Do(func() {
+		g.methodsSorted = ms
+		adopted = true
+	})
+	return adopted
+}
+
+// QualifiedLess reports whether a orders before b by qualified method name
+// — the comparator behind Methods(). Exported so incremental rebuilds can
+// merge a kept sorted run with freshly sorted methods into an
+// AdoptMethodOrder-ready list.
+func QualifiedLess(a, b *apk.Method) bool { return qualifiedLess(a, b) }
 
 // qualifiedLess orders methods exactly as comparing their QualifiedName
 // strings would, without building them. The slow byte-walk only runs when
@@ -198,6 +250,29 @@ func (g *Graph) CallSitesOf(class, method string) []Site {
 	return out
 }
 
+// ClassesInvoking returns the distinct app classes with at least one
+// invocation site targeting any method of the given callee class, sorted.
+// Incremental rebuilds use it to find the classes whose framework-call
+// classification can flip when a class name appears in or vanishes from the
+// app class set.
+func (g *Graph) ClassesInvoking(calleeClass string) []string {
+	set := make(map[string]struct{})
+	for k, sites := range g.callSites {
+		if k.class != calleeClass {
+			continue
+		}
+		for _, s := range sites {
+			set[s.Class()] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ClassesCalling returns the distinct app classes that invoke class.method.
 func (g *Graph) ClassesCalling(class, method string) []string {
 	set := make(map[string]struct{})
@@ -214,6 +289,7 @@ func (g *Graph) ClassesCalling(class, method string) []string {
 
 // Callers returns the app methods that call the given app method.
 func (g *Graph) Callers(qualified string) []string {
+	g.mcg()
 	out := append([]string(nil), g.callers[qualified]...)
 	sort.Strings(out)
 	return out
@@ -223,6 +299,7 @@ func (g *Graph) Callers(qualified string) []string {
 // class invokes. Ranking uses it to break importance ties (§4.3): a class
 // built on many others more likely implements a core function.
 func (g *Graph) ClassDependencyCount(class string) int {
+	g.mcg()
 	return len(g.classDeps[class])
 }
 
@@ -300,6 +377,22 @@ func (g *Graph) IntentSends() []IntentSend {
 	return out
 }
 
+// IntentSendsIn is IntentSends restricted to sites inside the given
+// classes — the incremental-rebuild path scans only the classes a release
+// diff touched. Site discovery walks the classes' statements directly, so
+// the per-site results (taint strings included) match what IntentSends
+// produces for those classes; only the site order differs, which the
+// aggregating caller sorts away.
+func (g *Graph) IntentSendsIn(classes []string) []IntentSend {
+	var out []IntentSend
+	g.sitesIn(classes, intentSendAPIs, func(site Site) {
+		if actions := g.BackwardStrings(site); len(actions) > 0 {
+			out = append(out, IntentSend{Actions: actions, Site: site})
+		}
+	})
+	return out
+}
+
 // ContentQuery records a content-provider access with its URI string(s).
 type ContentQuery struct {
 	URIs []string
@@ -322,6 +415,28 @@ func (g *Graph) ContentQueries() []ContentQuery {
 			out = append(out, ContentQuery{URIs: uris, Site: site})
 		}
 	}
+	return out
+}
+
+// contentResolverAPIs is contentResolverMethods in the class/method pair
+// shape the restricted site walk consumes.
+var contentResolverAPIs = func() []struct{ class, method string } {
+	out := make([]struct{ class, method string }, len(contentResolverMethods))
+	for i, m := range contentResolverMethods {
+		out[i] = struct{ class, method string }{"android.content.ContentResolver", m}
+	}
+	return out
+}()
+
+// ContentQueriesIn is ContentQueries restricted to sites inside the given
+// classes (see IntentSendsIn for the contract).
+func (g *Graph) ContentQueriesIn(classes []string) []ContentQuery {
+	var out []ContentQuery
+	g.sitesIn(classes, contentResolverAPIs, func(site Site) {
+		if uris := g.BackwardStrings(site); len(uris) > 0 {
+			out = append(out, ContentQuery{URIs: uris, Site: site})
+		}
+	})
 	return out
 }
 
@@ -356,6 +471,45 @@ func (g *Graph) ErrorMessages() []MessageSite {
 		}
 	}
 	return out
+}
+
+// ErrorMessagesIn is ErrorMessages restricted to sites inside the given
+// classes (see IntentSendsIn for the contract).
+func (g *Graph) ErrorMessagesIn(classes []string) []MessageSite {
+	var out []MessageSite
+	g.sitesIn(classes, errorMessageAPIs, func(site Site) {
+		if texts := g.BackwardStrings(site); len(texts) > 0 {
+			out = append(out, MessageSite{Texts: texts, Site: site})
+		}
+	})
+	return out
+}
+
+// sitesIn walks the statements of the given classes (by name, in the given
+// order) and yields every invocation site targeting one of the APIs. It
+// visits every declared method — including shadowed duplicates — exactly
+// like the callSites index the unrestricted queries read.
+func (g *Graph) sitesIn(classes []string, apis []struct{ class, method string }, yield func(Site)) {
+	for _, cn := range classes {
+		c, ok := g.release.FindClass(cn)
+		if !ok {
+			continue
+		}
+		for _, m := range c.Methods {
+			for i := range m.Statements {
+				st := &m.Statements[i]
+				if st.Op != apk.OpInvoke {
+					continue
+				}
+				for _, api := range apis {
+					if st.InvokeClass == api.class && st.InvokeMethod == api.method {
+						yield(Site{Method: m, StmtIdx: i})
+						break
+					}
+				}
+			}
+		}
+	}
 }
 
 // ExceptionSite records a throw or catch of an exception type.
@@ -394,6 +548,37 @@ func (g *Graph) FrameworkCalls() []Site {
 	}
 	var out []Site
 	for _, c := range g.release.Classes {
+		for _, m := range c.Methods {
+			for i := range m.Statements {
+				st := &m.Statements[i]
+				if st.Op != apk.OpInvoke {
+					continue
+				}
+				if _, isApp := appClasses[st.InvokeClass]; isApp {
+					continue
+				}
+				out = append(out, Site{Method: m, StmtIdx: i})
+			}
+		}
+	}
+	return out
+}
+
+// FrameworkCallsIn is FrameworkCalls restricted to sites inside the given
+// classes. The app/framework classification still uses the full class set
+// of this graph's release, so the per-site decisions match FrameworkCalls
+// exactly; only the covered classes differ.
+func (g *Graph) FrameworkCallsIn(classes []string) []Site {
+	appClasses := make(map[string]struct{}, len(g.release.Classes))
+	for _, c := range g.release.Classes {
+		appClasses[c.Name] = struct{}{}
+	}
+	var out []Site
+	for _, cn := range classes {
+		c, ok := g.release.FindClass(cn)
+		if !ok {
+			continue
+		}
 		for _, m := range c.Methods {
 			for i := range m.Statements {
 				st := &m.Statements[i]

@@ -17,6 +17,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,6 +49,95 @@ type Release struct {
 	// StringRes maps string resource ids to their values
 	// (res/values/strings.xml).
 	StringRes map[string]string `json:"stringRes"`
+
+	// idx caches the class/layout lookup tables. It is built lazily on
+	// first use and rebuilt when the Classes or Layouts slices are observed
+	// to have changed shape; see releaseIndex for the exact staleness rule.
+	idx atomic.Pointer[releaseIndex]
+}
+
+// releaseIndex is the lazily-built lookup structure behind FindClass,
+// ClassNames and LayoutByID. A Release is mutated only while it is being
+// assembled (Builder, synth generator) and is read concurrently only after
+// assembly settles, so the index validates itself against the slice shape
+// (length plus boundary elements) instead of requiring explicit
+// invalidation: every mutation the Builder can express — appending classes,
+// filtering one out, appending layouts — changes at least one of those.
+type releaseIndex struct {
+	byName                  map[string]*Class
+	names                   []string // all class names, sorted (duplicates preserved)
+	layouts                 map[string]int
+	nClasses, nLayouts      int
+	firstClass, lastClass   *Class
+	firstLayout, lastLayout string
+	// fps memoizes classContentFingerprint by class identity. The IR is
+	// immutable once built (the index itself relies on that), so a class
+	// pointer's fingerprint never changes; release cadences re-diff the
+	// same release pointers repeatedly (rebuild, change-aware ranking),
+	// and untouched classes are shared between releases. Living on the
+	// index keeps the cache's lifetime tied to the release it describes.
+	fps sync.Map // *Class -> uint64
+}
+
+// classFP returns c's content fingerprint, memoized on the index.
+func (x *releaseIndex) classFP(c *Class) uint64 {
+	if v, ok := x.fps.Load(c); ok {
+		return v.(uint64)
+	}
+	fp := classContentFingerprint(c)
+	x.fps.Store(c, fp)
+	return fp
+}
+
+func (r *Release) index() *releaseIndex {
+	idx := r.idx.Load()
+	if idx != nil && idx.fresh(r) {
+		return idx
+	}
+	idx = &releaseIndex{
+		byName:   make(map[string]*Class, len(r.Classes)),
+		layouts:  make(map[string]int, len(r.Layouts)),
+		nClasses: len(r.Classes),
+		nLayouts: len(r.Layouts),
+	}
+	names := make([]string, 0, len(r.Classes))
+	for _, c := range r.Classes {
+		// First declaration wins, matching the old linear scan.
+		if _, dup := idx.byName[c.Name]; !dup {
+			idx.byName[c.Name] = c
+		}
+		names = append(names, c.Name)
+	}
+	sort.Strings(names)
+	idx.names = names
+	for i, l := range r.Layouts {
+		if _, dup := idx.layouts[l.ID]; !dup {
+			idx.layouts[l.ID] = i
+		}
+	}
+	if idx.nClasses > 0 {
+		idx.firstClass, idx.lastClass = r.Classes[0], r.Classes[idx.nClasses-1]
+	}
+	if idx.nLayouts > 0 {
+		idx.firstLayout, idx.lastLayout = r.Layouts[0].ID, r.Layouts[idx.nLayouts-1].ID
+	}
+	r.idx.Store(idx)
+	return idx
+}
+
+func (x *releaseIndex) fresh(r *Release) bool {
+	if x.nClasses != len(r.Classes) || x.nLayouts != len(r.Layouts) {
+		return false
+	}
+	if x.nClasses > 0 &&
+		(x.firstClass != r.Classes[0] || x.lastClass != r.Classes[x.nClasses-1]) {
+		return false
+	}
+	if x.nLayouts > 0 &&
+		(x.firstLayout != r.Layouts[0].ID || x.lastLayout != r.Layouts[x.nLayouts-1].ID) {
+		return false
+	}
+	return true
 }
 
 // Manifest models AndroidManifest.xml.
@@ -203,24 +294,18 @@ func (w *Widget) Walk(visit func(*Widget)) {
 	}
 }
 
-// FindClass returns the class with the given fully qualified name.
+// FindClass returns the class with the given fully qualified name. Lookups
+// go through the lazily-built class index: O(1) after the first call
+// instead of a linear scan per query.
 func (r *Release) FindClass(name string) (*Class, bool) {
-	for _, c := range r.Classes {
-		if c.Name == name {
-			return c, true
-		}
-	}
-	return nil, false
+	c, ok := r.index().byName[name]
+	return c, ok
 }
 
-// ClassNames returns all class names, sorted.
+// ClassNames returns all class names, sorted. The sorted list is cached in
+// the release index; callers receive a private copy.
 func (r *Release) ClassNames() []string {
-	out := make([]string, 0, len(r.Classes))
-	for _, c := range r.Classes {
-		out = append(out, c.Name)
-	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), r.index().names...)
 }
 
 // StartingActivity returns the activity declared with MAIN/LAUNCHER
@@ -259,12 +344,11 @@ func (r *Release) ResolveString(value string) string {
 	return value
 }
 
-// LayoutByID returns the layout with the given resource id.
+// LayoutByID returns the layout with the given resource id, via the same
+// lazily-built index that backs FindClass.
 func (r *Release) LayoutByID(id string) (Layout, bool) {
-	for _, l := range r.Layouts {
-		if l.ID == id {
-			return l, true
-		}
+	if i, ok := r.index().layouts[id]; ok {
+		return r.Layouts[i], true
 	}
 	return Layout{}, false
 }

@@ -1,8 +1,8 @@
 package apk_test
 
 import (
+	"encoding/json"
 	"errors"
-	"reflect"
 	"testing"
 	"time"
 
@@ -17,6 +17,14 @@ func encodeApp(a *apk.App) []byte {
 	return e.Bytes()
 }
 
+// appsEqual compares two apps field by field via their JSON form, which
+// covers every IR field while ignoring the unexported lazy lookup index.
+func appsEqual(a, b *apk.App) bool {
+	aj, err1 := json.Marshal(a)
+	bj, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && string(aj) == string(bj)
+}
+
 func TestBinaryRoundTrip(t *testing.T) {
 	app := synth.GenerateSample(3).App
 	raw := encodeApp(app)
@@ -24,7 +32,7 @@ func TestBinaryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DecodeBinary: %v", err)
 	}
-	if !reflect.DeepEqual(app, got) {
+	if !appsEqual(app, got) {
 		t.Fatal("decoded app differs from original")
 	}
 	// Deterministic: re-encoding the decoded app reproduces the bytes, and
@@ -77,7 +85,7 @@ func TestBinaryRoundTripEdgeCases(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DecodeBinary: %v", err)
 	}
-	if !reflect.DeepEqual(app, got) {
+	if !appsEqual(app, got) {
 		t.Fatal("decoded app differs from original")
 	}
 	// Nanosecond release times survive (RFC 3339 nano encoding).

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/snapfile"
+	"reviewsolver/internal/synth"
+)
+
+// typedDeltaError reports whether a LoadSnapshotDeltaImages failure is one
+// of the documented typed errors: a snapfile container error, the core
+// incompatibility sentinel, or one of the delta-specific sentinels. The
+// serving registry's delta hot-swap quarantines on exactly this contract.
+func typedDeltaError(err error) bool {
+	if typedLoadError(err) {
+		return true
+	}
+	return errors.Is(err, ErrSnapshotDelta) || errors.Is(err, ErrDeltaBaseMismatch) ||
+		errors.Is(err, errNotDelta)
+}
+
+// FuzzLoadSnapshotDeltaImages: hostile delta images — and hostile bases —
+// must never panic the delta-section decoder, and every rejection must be a
+// typed error. Exercises the delta meta decode, base CRC binding, row-map
+// bounds checks, and the per-release patch materialization.
+func FuzzLoadSnapshotDeltaImages(f *testing.F) {
+	deltaImg, baseImg := deltaFuzzFixture(f)
+	for _, seed := range deltaFuzzSeedVariants(deltaImg, baseImg) {
+		f.Add(seed[0], seed[1])
+	}
+	f.Fuzz(func(t *testing.T, delta, base []byte) {
+		snap, app, err := LoadSnapshotDeltaImages(delta, base)
+		if err != nil {
+			if !typedDeltaError(err) {
+				t.Fatalf("LoadSnapshotDeltaImages returned an untyped error: %v", err)
+			}
+			return
+		}
+		if snap == nil || app == nil {
+			t.Fatal("LoadSnapshotDeltaImages returned nil snapshot/app without error")
+		}
+		// A loaded delta snapshot must be servable, like a full one.
+		if s := NewWithSnapshot(snap); s == nil {
+			t.Fatal("NewWithSnapshot returned nil for a delta-loaded snapshot")
+		}
+	})
+}
+
+// deltaFuzzFixture builds a valid (delta, base) image pair for the seeded
+// sample app's version bump.
+func deltaFuzzFixture(tb testing.TB) (deltaImg, baseImg []byte) {
+	data := synth.GenerateSample(1)
+	app := data.App
+	if len(app.Releases) < 2 {
+		tb.Fatal("sample app has a single release")
+	}
+	base := &apk.App{
+		Package:  app.Package,
+		Name:     app.Name,
+		Releases: app.Releases[:len(app.Releases)-1],
+	}
+	baseImg, err := EncodeSnapshot(NewSnapshot(), base)
+	if err != nil {
+		tb.Fatalf("encode base: %v", err)
+	}
+	deltaImg, err = EncodeSnapshotDelta(NewSnapshot(), app, baseImg)
+	if err != nil {
+		tb.Fatalf("encode delta: %v", err)
+	}
+	return deltaImg, baseImg
+}
+
+// deltaFuzzSeedVariants mutates a valid pair toward the decoder's
+// validation branches: container corruption on either image, a truncated
+// delta, a damaged delta-meta section, a base-CRC mismatch, and the
+// swapped/duplicated pairings the loader must reject via its typed binding
+// checks rather than by reading out of bounds.
+func deltaFuzzSeedVariants(deltaImg, baseImg []byte) [][2][]byte {
+	flip := func(img []byte, i int) []byte {
+		m := append([]byte(nil), img...)
+		m[i] ^= 0xFF
+		return m
+	}
+	badVersion := append([]byte(nil), deltaImg...)
+	binary.LittleEndian.PutUint32(badVersion[8:], snapfile.Version+1)
+	return [][2][]byte{
+		{deltaImg, baseImg},
+		{nil, baseImg},
+		{deltaImg, nil},
+		{baseImg, baseImg},   // a full image is not a delta
+		{deltaImg, deltaImg}, // a delta is not a valid base
+		{deltaImg[:16], baseImg},
+		{deltaImg[:len(deltaImg)/2], baseImg},
+		{deltaImg, baseImg[:len(baseImg)/2]},
+		{flip(deltaImg, 0), baseImg},
+		{flip(deltaImg, len(deltaImg)/2), baseImg},
+		{flip(deltaImg, len(deltaImg)-1), baseImg},
+		{deltaImg, flip(baseImg, len(baseImg)/2)},
+		{badVersion, baseImg},
+	}
+}
+
+// TestWriteDeltaFuzzSeeds regenerates the committed seed corpus under
+// testdata/fuzz/FuzzLoadSnapshotDeltaImages (same gate as the other fuzz
+// corpora):
+//
+//	REVIEWSOLVER_WRITE_FUZZ_SEEDS=1 go test -run TestWriteDeltaFuzzSeeds ./internal/core
+func TestWriteDeltaFuzzSeeds(t *testing.T) {
+	if os.Getenv("REVIEWSOLVER_WRITE_FUZZ_SEEDS") == "" {
+		t.Skip("set REVIEWSOLVER_WRITE_FUZZ_SEEDS=1 to regenerate the seed corpus")
+	}
+	deltaImg, baseImg := deltaFuzzFixture(t)
+	dir := filepath.Join("testdata", "fuzz", "FuzzLoadSnapshotDeltaImages")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range deltaFuzzSeedVariants(deltaImg, baseImg) {
+		body := "go test fuzz v1\n" +
+			"[]byte(" + strconv.Quote(string(seed[0])) + ")\n" +
+			"[]byte(" + strconv.Quote(string(seed[1])) + ")\n"
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,10 @@ type RankedClass struct {
 	Contexts []string
 	// Methods lists the specific methods recommended within the class.
 	Methods []string
+	// Changed marks classes touched between the review's release and its
+	// predecessor; only set under change-aware ranking
+	// (WithChangeAwareRank), where it is the leading sort key.
+	Changed bool
 }
 
 // RankClasses implements §4.3: the importance of a class is the number of
@@ -26,6 +30,15 @@ type RankedClass struct {
 // fan-out (classes built on more classes rank first); the top n classes are
 // recommended.
 func RankClasses(mappings []Mapping, g *apg.Graph, n int) []RankedClass {
+	return rankClasses(mappings, g, n, nil)
+}
+
+// rankClasses is RankClasses with an optional changed-class set: when
+// non-nil, classes in the set order ahead of the rest (§4.1.6's
+// localizeUpdate intuition — a function-error review against a fresh
+// release most likely blames code the update touched), with the standard
+// importance/dependency/name ordering applied within each group.
+func rankClasses(mappings []Mapping, g *apg.Graph, n int, changed map[string]struct{}) []RankedClass {
 	type acc struct {
 		phrases  map[string]struct{}
 		contexts map[string]struct{}
@@ -59,9 +72,15 @@ func RankClasses(mappings []Mapping, g *apg.Graph, n int) []RankedClass {
 		if g != nil {
 			rc.Dependencies = g.ClassDependencyCount(cls)
 		}
+		if changed != nil {
+			_, rc.Changed = changed[cls]
+		}
 		out = append(out, rc)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		if out[i].Changed != out[j].Changed {
+			return out[i].Changed
+		}
 		if out[i].Importance != out[j].Importance {
 			return out[i].Importance > out[j].Importance
 		}

@@ -74,6 +74,13 @@ const (
 	relMQB       = 9
 	relIQF       = 10
 	relIQB       = 11
+
+	// Delta images (see snapdelta.go): secDeltaMeta marks the container as
+	// a delta against a base image and records the binding; a release's
+	// relDelta section holds its row maps, with the relM*/relI* float
+	// sections then carrying only the rows the base does not supply.
+	secDeltaMeta = 11
+	relDelta     = 12
 )
 
 // relSection returns the section ID of one per-release block.
@@ -261,6 +268,27 @@ func encodeQuant(w *snapfile.Writer, qfID, qbID uint32, m *wordvec.Matrix) {
 }
 
 func encodeRelease(w *snapfile.Writer, ri int, info *StaticInfo) error {
+	if err := encodeReleaseMeta(w, ri, info); err != nil {
+		return err
+	}
+	mProj, mRes := info.methodMatrix.Sketch()
+	w.Add(relSection(ri, relMData), snapfile.Float64Bytes(info.methodMatrix.Data()))
+	w.Add(relSection(ri, relMProj), snapfile.Float64Bytes(mProj))
+	w.Add(relSection(ri, relMRes), snapfile.Float64Bytes(mRes))
+
+	iProj, iRes := info.invisibleMatrix.Sketch()
+	w.Add(relSection(ri, relIData), snapfile.Float64Bytes(info.invisibleMatrix.Data()))
+	w.Add(relSection(ri, relIProj), snapfile.Float64Bytes(iProj))
+	w.Add(relSection(ri, relIRes), snapfile.Float64Bytes(iRes))
+	encodeQuant(w, relSection(ri, relMQF), relSection(ri, relMQB), info.methodMatrix)
+	encodeQuant(w, relSection(ri, relIQF), relSection(ri, relIQB), info.invisibleMatrix)
+	return nil
+}
+
+// encodeReleaseMeta writes the inventory (REL_META) and loose-vector
+// (REL_VECS) sections — the half of a release's encoding shared between the
+// full and the delta format.
+func encodeReleaseMeta(w *snapfile.Writer, ri int, info *StaticInfo) error {
 	meta := snapfile.NewEnc(1 << 15)
 	meta.Str(info.Release.Version)
 
@@ -379,18 +407,6 @@ func encodeRelease(w *snapfile.Writer, ri int, info *StaticInfo) error {
 
 	w.Add(relSection(ri, relMeta), meta.Bytes())
 	w.Add(relSection(ri, relVecs), snapfile.Float64Bytes(vecs))
-
-	mProj, mRes := info.methodMatrix.Sketch()
-	w.Add(relSection(ri, relMData), snapfile.Float64Bytes(info.methodMatrix.Data()))
-	w.Add(relSection(ri, relMProj), snapfile.Float64Bytes(mProj))
-	w.Add(relSection(ri, relMRes), snapfile.Float64Bytes(mRes))
-
-	iProj, iRes := info.invisibleMatrix.Sketch()
-	w.Add(relSection(ri, relIData), snapfile.Float64Bytes(info.invisibleMatrix.Data()))
-	w.Add(relSection(ri, relIProj), snapfile.Float64Bytes(iProj))
-	w.Add(relSection(ri, relIRes), snapfile.Float64Bytes(iRes))
-	encodeQuant(w, relSection(ri, relMQF), relSection(ri, relMQB), info.methodMatrix)
-	encodeQuant(w, relSection(ri, relIQF), relSection(ri, relIQB), info.invisibleMatrix)
 	return nil
 }
 

@@ -74,6 +74,9 @@ func LoadSnapshotBytes(data []byte, opts ...Option) (*Snapshot, *apk.App, error)
 }
 
 func loadSnapshot(r *snapfile.Reader, opts ...Option) (*Snapshot, *apk.App, error) {
+	if _, isDelta := r.Section(secDeltaMeta); isDelta {
+		return nil, nil, ErrSnapshotDelta
+	}
 	s := *loadTemplate()
 	for _, opt := range opts {
 		opt(&s)
@@ -347,6 +350,37 @@ func loadQuant(r *snapfile.Reader, qfID, qbID uint32, m *wordvec.Matrix, force b
 // zero-copy parts, and the cheap derivations (graph, exceptions,
 // permissions, invisible-row index) recomputed from the decoded IR.
 func loadRelease(r *snapfile.Reader, ri int, release *apk.Release, table *catalogTable, force bool) (*StaticInfo, error) {
+	info, err := loadReleaseMeta(r, ri, release, table)
+	if err != nil {
+		return nil, err
+	}
+
+	// Matrices: zero-copy views over the file image.
+	mData, mProj, mRes, err := matrixParts(r, relSection(ri, relMData), relSection(ri, relMProj), relSection(ri, relMRes))
+	if err != nil {
+		return nil, err
+	}
+	if info.methodMatrix, err = wordvec.MatrixFromParts(mData, mProj, mRes); err != nil {
+		return nil, fmt.Errorf("%w: method matrix: %v", snapfile.ErrCorrupt, err)
+	}
+	iData, iProj, iRes, err := matrixParts(r, relSection(ri, relIData), relSection(ri, relIProj), relSection(ri, relIRes))
+	if err != nil {
+		return nil, err
+	}
+	if info.invisibleMatrix, err = wordvec.MatrixFromParts(iData, iProj, iRes); err != nil {
+		return nil, fmt.Errorf("%w: invisible matrix: %v", snapfile.ErrCorrupt, err)
+	}
+	if err := attachReleaseMatrices(r, ri, info, force); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// loadReleaseMeta reconstructs the inventory half of one release — the
+// REL_META records with their loose REL_VECS vectors — leaving the two scan
+// matrices unset. Shared by the full loader (which attaches zero-copy
+// matrices) and the delta loader (which materializes them from base rows).
+func loadReleaseMeta(r *snapfile.Reader, ri int, release *apk.Release, table *catalogTable) (*StaticInfo, error) {
 	metaPayload, err := r.MustSection(relSection(ri, relMeta))
 	if err != nil {
 		return nil, err
@@ -502,42 +536,32 @@ func loadRelease(r *snapfile.Reader, ri int, release *apk.Release, table *catalo
 	if vecOff != len(looseVecs) {
 		return nil, fmt.Errorf("%w: loose vector block has %d unused rows", snapfile.ErrCorrupt, len(looseVecs)-vecOff)
 	}
+	return info, nil
+}
 
-	// Matrices: zero-copy views over the file image.
-	mData, mProj, mRes, err := matrixParts(r, relSection(ri, relMData), relSection(ri, relMProj), relSection(ri, relMRes))
-	if err != nil {
-		return nil, err
-	}
-	if info.methodMatrix, err = wordvec.MatrixFromParts(mData, mProj, mRes); err != nil {
-		return nil, fmt.Errorf("%w: method matrix: %v", snapfile.ErrCorrupt, err)
-	}
+// attachReleaseMatrices finishes a release whose methodMatrix and
+// invisibleMatrix are already set: cross-checks row counts, copies the
+// per-phrase vectors, restores (or lazily builds) the quantized tiers, and
+// rebuilds the invisible-row index in the exact nested order buildScanState
+// emits (the zero vector marks empty id-word lists, as in
+// embedInvisibleLabels).
+func attachReleaseMatrices(r *snapfile.Reader, ri int, info *StaticInfo, force bool) error {
 	if info.methodMatrix.Rows() != len(info.MethodPhrases) {
-		return nil, fmt.Errorf("%w: %d method rows for %d phrases", snapfile.ErrCorrupt, info.methodMatrix.Rows(), len(info.MethodPhrases))
+		return fmt.Errorf("%w: %d method rows for %d phrases", snapfile.ErrCorrupt, info.methodMatrix.Rows(), len(info.MethodPhrases))
 	}
 	for i := range info.MethodPhrases {
 		copy(info.MethodPhrases[i].Vec[:], info.methodMatrix.Row(i))
 	}
-
-	iData, iProj, iRes, err := matrixParts(r, relSection(ri, relIData), relSection(ri, relIProj), relSection(ri, relIRes))
-	if err != nil {
-		return nil, err
-	}
-	if info.invisibleMatrix, err = wordvec.MatrixFromParts(iData, iProj, iRes); err != nil {
-		return nil, fmt.Errorf("%w: invisible matrix: %v", snapfile.ErrCorrupt, err)
-	}
 	if err := loadQuant(r, relSection(ri, relMQF), relSection(ri, relMQB), info.methodMatrix, force); err != nil {
-		return nil, err
+		return err
 	}
 	if err := loadQuant(r, relSection(ri, relIQF), relSection(ri, relIQB), info.invisibleMatrix, force); err != nil {
-		return nil, err
+		return err
 	}
 
-	// Rebuild the invisible-row index and per-GUI vectors from the matrix, in
-	// the exact nested order buildScanState emits (the zero vector marks
-	// empty id-word lists, as in embedInvisibleLabels).
-	invRows, err := wordvec.RowVectors(iData)
+	invRows, err := wordvec.RowVectors(info.invisibleMatrix.Data())
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", snapfile.ErrCorrupt, err)
+		return fmt.Errorf("%w: %v", snapfile.ErrCorrupt, err)
 	}
 	info.invisibleVecs = make([][]wordvec.Vector, len(info.GUIs))
 	totalWords := 0
@@ -556,7 +580,7 @@ func loadRelease(r *snapfile.Reader, ri int, release *apk.Release, table *catalo
 				continue
 			}
 			if used >= len(invRows) {
-				return nil, fmt.Errorf("%w: invisible matrix underflow", snapfile.ErrCorrupt)
+				return fmt.Errorf("%w: invisible matrix underflow", snapfile.ErrCorrupt)
 			}
 			vecs[wi] = invRows[used]
 			info.invisibleRows = append(info.invisibleRows, invisibleRef{GUI: int32(gi), Widget: int32(wi)})
@@ -565,7 +589,7 @@ func loadRelease(r *snapfile.Reader, ri int, release *apk.Release, table *catalo
 		info.invisibleVecs[gi] = vecs
 	}
 	if used != len(invRows) {
-		return nil, fmt.Errorf("%w: invisible matrix has %d unused rows", snapfile.ErrCorrupt, len(invRows)-used)
+		return fmt.Errorf("%w: invisible matrix has %d unused rows", snapfile.ErrCorrupt, len(invRows)-used)
 	}
-	return info, nil
+	return nil
 }

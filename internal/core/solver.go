@@ -63,6 +63,13 @@ type Solver struct {
 	// matrices only (wordvec.EnsureQuant's row gate).
 	forceQuant bool
 
+	// changeAware boosts candidate classes touched between the review's
+	// release and its predecessor to the top of the ranking (§4.1.6's
+	// update intuition applied at rank time). changedCache memoizes the
+	// release diffs behind it; held by pointer so solver copies share it.
+	changeAware  bool
+	changedCache *releaseDiffCache
+
 	// snap, when set, is the shared immutable precomputed state this
 	// solver reads through instead of its private caches below.
 	snap *Snapshot
@@ -227,6 +234,23 @@ func WithLegacyCosine() Option {
 // testable at every matrix size (and for A/B benchmarks).
 func WithQuantizedScan() Option {
 	return func(s *Solver) { s.forceQuant = true }
+}
+
+// WithChangeAwareRank ranks candidate classes that changed between the
+// review's app version and its predecessor ahead of unchanged candidates.
+// The intuition follows §4.1.6 (update reviews blame updated code): a
+// function-error review published right after a release most likely
+// describes a regression in the code that release touched. Localization
+// (which classes are candidates at all) is unaffected; only the §4.3
+// ordering changes, with the changed-first key applied before importance.
+// Reviews with no predecessor release rank exactly as without the option.
+func WithChangeAwareRank() Option {
+	return func(s *Solver) {
+		s.changeAware = true
+		if s.changedCache == nil {
+			s.changedCache = &releaseDiffCache{}
+		}
+	}
 }
 
 // WithObserver installs a telemetry recorder. The pipeline then emits
@@ -417,7 +441,11 @@ func (s *Solver) localizeReview(app *apk.App, text string, publishedAt time.Time
 	tr.AddStage(stageLocalize, stageReview, len(res.Mappings))
 
 	rs := root.Child(stageRank)
-	res.Ranked = RankClasses(res.Mappings, info.Graph, TopN)
+	var changed map[string]struct{}
+	if s.changeAware && previous != nil {
+		changed = s.changedClasses(previous, current)
+	}
+	res.Ranked = rankClasses(res.Mappings, info.Graph, TopN, changed)
 	rs.End()
 	tr.AddStage(stageRank, stageReview, 0)
 

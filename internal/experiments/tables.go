@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"reviewsolver/internal/core"
 	"reviewsolver/internal/ctxinfo"
 	"reviewsolver/internal/ios"
 	"reviewsolver/internal/phrase"
@@ -510,17 +511,134 @@ func (r *Runner) Table16() *Table {
 	return t
 }
 
+// Table17 evaluates the change-aware ranking mode on the change-file
+// localization workload (Zhou et al., "User Review-Based Change File
+// Localization for Mobile Applications"): a function-error review predicts
+// the class its fix will touch, and reviews filed right after a release
+// should localize against what that release changed. The table compares the
+// default §4.3 ranking with core.WithChangeAwareRank — which promotes
+// candidate classes touched between the reviewer's release and its
+// predecessor to the head of the ranking — on the fault reviews of the
+// Table 6 corpus, with the fix-touched worker class as ground truth.
+// "Fixing release" rows are the Zhou et al. signal case: the reviewer is
+// running exactly the release whose change set contains the future truth.
+func (r *Runner) Table17() *Table {
+	t := &Table{ID: "Table 17", Title: "Change-aware change-file localization",
+		Header: []string{"Review set", "#Reviews",
+			"Hit@1 default", "Hit@1 change-aware",
+			"Hit@5 default", "Hit@5 change-aware",
+			"MRR default", "MRR change-aware"}}
+
+	// A second solver sharing the classifier setup, with the boost on.
+	vec, clf := textclass.TrainOn(synth.TrainingCorpus(r.Seed),
+		func() textclass.Classifier { return textclass.NewBoostedTrees() })
+	ca := core.New(core.WithClassifier(vec, clf), core.WithChangeAwareRank())
+
+	type bucket struct {
+		n                          int
+		hit1d, hit1c, hit5d, hit5c int
+		mrrD, mrrC                 float64
+	}
+	var onFix, offFix bucket
+	score := func(b *bucket, rd, rc int) {
+		b.n++
+		if rd == 1 {
+			b.hit1d++
+		}
+		if rc == 1 {
+			b.hit1c++
+		}
+		if rd >= 1 && rd <= 5 {
+			b.hit5d++
+		}
+		if rc >= 1 && rc <= 5 {
+			b.hit5c++
+		}
+		if rd > 0 {
+			b.mrrD += 1 / float64(rd)
+		}
+		if rc > 0 {
+			b.mrrC += 1 / float64(rc)
+		}
+	}
+
+	for _, ev := range r.Eval18() {
+		app := ev.data.App
+		faults := make(map[int]synth.Fault, len(ev.data.Faults))
+		for _, f := range ev.data.Faults {
+			faults[f.ID] = f
+		}
+		for _, re := range ev.reviews {
+			if !re.detected || re.review.FaultID < 0 || re.rs == nil {
+				continue
+			}
+			fault, ok := faults[re.review.FaultID]
+			if !ok || fault.FixedIn < 1 || fault.FixedIn >= len(app.Releases) {
+				continue
+			}
+			truth := fault.Classes[len(fault.Classes)-1]
+			current, _, ok := app.ReleaseBefore(re.review.PublishedAt)
+			if !ok {
+				continue
+			}
+			rd := rankOf(re.rs.Ranked, truth)
+			rc := rankOf(ca.LocalizeReview(app, re.review.Text, re.review.PublishedAt).Ranked, truth)
+			if current == app.Releases[fault.FixedIn] {
+				score(&onFix, rd, rc)
+			} else {
+				score(&offFix, rd, rc)
+			}
+		}
+	}
+
+	row := func(name string, b bucket) {
+		mrrD, mrrC := 0.0, 0.0
+		if b.n > 0 {
+			mrrD, mrrC = b.mrrD/float64(b.n), b.mrrC/float64(b.n)
+		}
+		t.AddRow(name, itoa(b.n),
+			pct(b.hit1d, b.n), pct(b.hit1c, b.n),
+			pct(b.hit5d, b.n), pct(b.hit5c, b.n),
+			fmt.Sprintf("%.3f", mrrD), fmt.Sprintf("%.3f", mrrC))
+	}
+	all := onFix
+	all.n += offFix.n
+	all.hit1d += offFix.hit1d
+	all.hit1c += offFix.hit1c
+	all.hit5d += offFix.hit5d
+	all.hit5c += offFix.hit5c
+	all.mrrD += offFix.mrrD
+	all.mrrC += offFix.mrrC
+	row("Filed on fixing release", onFix)
+	row("Filed on other releases", offFix)
+	row("All fault reviews", all)
+	t.Notes = append(t.Notes,
+		"shape check: change-aware >= default on the fixing-release rows, unchanged elsewhere (boost only reorders when a candidate actually changed)")
+	return t
+}
+
+// rankOf returns the 1-based rank of class in the ranked list, 0 if absent.
+func rankOf(ranked []core.RankedClass, class string) int {
+	for i, rc := range ranked {
+		if rc.Class == class {
+			return i + 1
+		}
+	}
+	return 0
+}
+
 // AllTables runs every table in order.
 func (r *Runner) AllTables() []*Table {
 	return []*Table{
 		r.Table1(), r.Table2(), r.Table3(), r.Table4(), r.Table5(),
 		r.Table6(), r.Table7(), r.Table8(), r.Table9(), r.Table10(),
 		r.Table11(), r.Table12(), r.Table13(), r.Table14(), r.Table15(),
-		r.Table16(),
+		r.Table16(), r.Table17(),
 	}
 }
 
-// TableByNumber runs a single table (1–16).
+// TableByNumber runs a single table (1–17; 17 is the change-file
+// localization extension, not a paper table).
 func (r *Runner) TableByNumber(n int) (*Table, error) {
 	switch n {
 	case 1:
@@ -555,7 +673,9 @@ func (r *Runner) TableByNumber(n int) (*Table, error) {
 		return r.Table15(), nil
 	case 16:
 		return r.Table16(), nil
+	case 17:
+		return r.Table17(), nil
 	default:
-		return nil, fmt.Errorf("no table %d (valid: 1-16)", n)
+		return nil, fmt.Errorf("no table %d (valid: 1-17)", n)
 	}
 }

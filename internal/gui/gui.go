@@ -82,32 +82,41 @@ var dynamicTextAPIs = []struct{ class, method string }{
 func Recover(r *apk.Release, g *apg.Graph) []ActivityGUI {
 	out := make([]ActivityGUI, 0, len(r.Manifest.Activities))
 	for _, decl := range r.Manifest.Activities {
-		a := ActivityGUI{Activity: decl.Name, LayoutID: decl.LayoutID}
-		if layout, ok := r.LayoutByID(decl.LayoutID); ok {
-			layout.Root.Walk(func(w *apk.Widget) {
-				if t := r.ResolveString(w.Text); t != "" {
-					a.Visible = append(a.Visible, t)
-				}
-				if h := r.ResolveString(w.Hint); h != "" {
-					a.Visible = append(a.Visible, h)
-				}
-				if w.ID != "" {
-					a.WidgetIDs = append(a.WidgetIDs, w.ID)
-					words := textproc.ExpandUIWords(textproc.SplitIdentifier(w.ID))
-					a.InvisibleWords = append(a.InvisibleWords, words)
-				}
-			})
-		}
-		if g != nil {
-			a.Visible = append(a.Visible, dynamicTexts(g, decl.Name)...)
-			ids, words := dynamicWidgets(g, decl.Name)
-			a.WidgetIDs = append(a.WidgetIDs, ids...)
-			a.InvisibleWords = append(a.InvisibleWords, words...)
-		}
-		out = append(out, a)
+		out = append(out, RecoverActivity(r, g, decl))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Activity < out[j].Activity })
 	return out
+}
+
+// RecoverActivity reconstructs the GUI of a single declared activity —
+// Recover's per-declaration step, exported so incremental rebuilds can
+// re-run it for just the activities a release diff touched. The result is
+// identical to the corresponding element Recover produces for the same
+// release and graph.
+func RecoverActivity(r *apk.Release, g *apg.Graph, decl apk.ActivityDecl) ActivityGUI {
+	a := ActivityGUI{Activity: decl.Name, LayoutID: decl.LayoutID}
+	if layout, ok := r.LayoutByID(decl.LayoutID); ok {
+		layout.Root.Walk(func(w *apk.Widget) {
+			if t := r.ResolveString(w.Text); t != "" {
+				a.Visible = append(a.Visible, t)
+			}
+			if h := r.ResolveString(w.Hint); h != "" {
+				a.Visible = append(a.Visible, h)
+			}
+			if w.ID != "" {
+				a.WidgetIDs = append(a.WidgetIDs, w.ID)
+				words := textproc.ExpandUIWords(textproc.SplitIdentifier(w.ID))
+				a.InvisibleWords = append(a.InvisibleWords, words)
+			}
+		})
+	}
+	if g != nil {
+		a.Visible = append(a.Visible, dynamicTexts(g, decl.Name)...)
+		ids, words := dynamicWidgets(g, decl.Name)
+		a.WidgetIDs = append(a.WidgetIDs, ids...)
+		a.InvisibleWords = append(a.InvisibleWords, words...)
+	}
+	return a
 }
 
 // dynamicTexts collects const-strings flowing into text setters from

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"reviewsolver/internal/apk"
+	"reviewsolver/internal/core"
+	"reviewsolver/internal/obs"
+	"reviewsolver/internal/synth"
+)
+
+// deltaImages builds the version-bump pair: a full image of all but the
+// last release, and a delta image of the whole app against it.
+func deltaImages(t testing.TB) (data *synth.AppData, baseImg, deltaImg []byte) {
+	t.Helper()
+	data = synth.GenerateSample(4)
+	app := data.App
+	if len(app.Releases) < 2 {
+		t.Skip("sample app has a single release")
+	}
+	baseApp := &apk.App{
+		Package:  app.Package,
+		Name:     app.Name,
+		Releases: app.Releases[:len(app.Releases)-1],
+	}
+	baseImg, err := core.EncodeSnapshot(core.NewSnapshot(), baseApp)
+	if err != nil {
+		t.Fatalf("encode base: %v", err)
+	}
+	deltaImg, err = core.EncodeSnapshotDelta(core.NewSnapshot(), app, baseImg)
+	if err != nil {
+		t.Fatalf("encode delta: %v", err)
+	}
+	return data, baseImg, deltaImg
+}
+
+// TestRegistryDeltaHotSwap: a version bump registered as a delta image
+// loads against the resident previous version, serves output identical to
+// the in-memory build, and journals a delta_load event naming its base.
+func TestRegistryDeltaHotSwap(t *testing.T) {
+	data, baseImg, deltaImg := deltaImages(t)
+	app := data.App
+	met := obs.NewRegistry()
+	journal := obs.NewJournal(64, met)
+	r := NewRegistry(RegistryConfig{Metrics: met, Journal: journal})
+	r.RegisterBytes(app.Package, "v1", baseImg)
+	r.RegisterBytes(app.Package, "v2", deltaImg)
+
+	ctx := context.Background()
+	// Make the base resident, then load the delta against it.
+	l1, err := r.Acquire(ctx, app.Package, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1.Release()
+	l2, err := r.Acquire(ctx, app.Package, "v2")
+	if err != nil {
+		t.Fatalf("delta acquire: %v", err)
+	}
+	defer l2.Release()
+
+	want := core.New()
+	for i, rv := range data.Reviews {
+		if i >= 8 {
+			break
+		}
+		exp := want.LocalizeReview(app, rv.Text, rv.PublishedAt)
+		got := l2.Solver.LocalizeReview(l2.App, rv.Text, rv.PublishedAt)
+		if !reflect.DeepEqual(got.Mappings, exp.Mappings) || !reflect.DeepEqual(got.Ranked, exp.Ranked) {
+			t.Fatalf("review %d: delta-served localization differs from in-memory build", i)
+		}
+	}
+
+	if got := met.Counter(metricDeltaLoads).Value(); got != 1 {
+		t.Fatalf("delta_loads_total = %d, want 1", got)
+	}
+	found := false
+	for _, ev := range journal.Events() {
+		if ev.Type == obs.EventDeltaLoad {
+			found = true
+			if ev.Version != "v2" || ev.Detail != "base v1" {
+				t.Fatalf("delta_load event = %+v, want v2 / base v1", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no delta_load journal event")
+	}
+
+	// The delta entry's byte accounting includes the materialized rows, so
+	// it must exceed its (much smaller) image length.
+	for _, st := range r.Apps() {
+		if st.Version == "v2" && st.Bytes <= int64(len(deltaImg)) {
+			t.Fatalf("delta entry accounts %d bytes for a %d-byte image — materialized rows missing", st.Bytes, len(deltaImg))
+		}
+	}
+}
+
+// TestRegistryDeltaWithoutBase: acquiring a delta-image entry whose base is
+// not resident quarantines it (typed ErrSnapshotLoad), and the standard
+// re-probe recovers it once the base becomes resident.
+func TestRegistryDeltaWithoutBase(t *testing.T) {
+	data, baseImg, deltaImg := deltaImages(t)
+	app := data.App
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	met := obs.NewRegistry()
+	r := NewRegistry(RegistryConfig{Metrics: met, Clock: clock})
+	r.RegisterBytes(app.Package, "v1", baseImg)
+	r.RegisterBytes(app.Package, "v2", deltaImg)
+
+	ctx := context.Background()
+	if _, err := r.Acquire(ctx, app.Package, "v2"); !errors.Is(err, ErrSnapshotLoad) {
+		t.Fatalf("delta acquire without base = %v, want ErrSnapshotLoad", err)
+	}
+	if _, err := r.Acquire(ctx, app.Package, "v2"); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("second acquire = %v, want ErrQuarantined (backoff)", err)
+	}
+
+	l1, err := r.Acquire(ctx, app.Package, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1.Release()
+
+	now = now.Add(time.Hour) // past any backoff: the next acquire re-probes
+	l2, err := r.Acquire(ctx, app.Package, "v2")
+	if err != nil {
+		t.Fatalf("re-probe with resident base: %v", err)
+	}
+	l2.Release()
+	if got := met.Counter(metricQuarRecovered).Value(); got != 1 {
+		t.Fatalf("quarantine_recovered_total = %d, want 1", got)
+	}
+}

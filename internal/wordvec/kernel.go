@@ -150,6 +150,59 @@ func (m *Matrix) Finish() {
 	}
 }
 
+// FinishReuse builds the prescreen sketch like Finish, copying the
+// already-computed sketch row from src wherever rowMap names a source row
+// (rowMap[r] = src row index, or -1 to compute fresh). A copied sketch row
+// is bitwise identical to what Finish would recompute, because the sketch
+// of a row is a pure function of the row data and the process-global anchor
+// basis — so a matrix finished this way is indistinguishable from one
+// finished from scratch, provided the mapped rows carry identical data.
+// Incremental snapshot rebuilds use this to skip the Gram–Schmidt pass for
+// every row carried over from the previous release.
+func (m *Matrix) FinishReuse(src *Matrix, rowMap []int32) error {
+	if len(rowMap) != m.rows {
+		return fmt.Errorf("wordvec: rowMap of %d entries for %d rows", len(rowMap), m.rows)
+	}
+	basis := anchorBasis()
+	k := len(basis)
+	m.proj = make([]float64, m.rows*k)
+	m.res = make([]float64, m.rows)
+	var resid Vector
+	for r := 0; r < m.rows; {
+		if sr := rowMap[r]; sr >= 0 {
+			if src == nil || src.proj == nil {
+				return fmt.Errorf("wordvec: rowMap reuses row %d but src matrix has no sketch", sr)
+			}
+			if int(sr) >= src.rows {
+				return fmt.Errorf("wordvec: rowMap names src row %d of %d", sr, src.rows)
+			}
+			// Copy the maximal contiguous source run in one memmove per
+			// block — incremental rebuilds map long untouched stretches to
+			// consecutive source rows.
+			n := 1
+			for r+n < m.rows && rowMap[r+n] == sr+int32(n) && int(sr)+n < src.rows {
+				n++
+			}
+			copy(m.proj[r*k:(r+n)*k], src.proj[int(sr)*k:(int(sr)+n)*k])
+			copy(m.res[r:r+n], src.res[int(sr):int(sr)+n])
+			r += n
+			continue
+		}
+		row := m.Row(r)
+		copy(resid[:], row)
+		for bi := range basis {
+			p := dotRow(&basis[bi], row)
+			m.proj[r*k+bi] = p
+			for i := 0; i < Dim; i++ {
+				resid[i] -= p * basis[bi][i]
+			}
+		}
+		m.res[r] = math.Sqrt(Dot(resid, resid))
+		r++
+	}
+	return nil
+}
+
 // Sketch returns the finished prescreen sketch: the rows×BasisSize anchor
 // projections and the per-row residual norms (nil before Finish). The slices
 // alias the matrix; callers must treat them as read-only. Snapshot encoding

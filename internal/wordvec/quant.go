@@ -85,6 +85,12 @@ const (
 	// candidate sets pay the build cost.
 	quantMinRows = 4096
 
+	// QuantMinRows re-exports the auto-quantization gate for callers that
+	// must predict whether a full build would grow a tier — the incremental
+	// rebuild path patches the previous tier only when the from-scratch
+	// path would also have one, keeping scan telemetry comparable.
+	QuantMinRows = quantMinRows
+
 	// quantErrCap bounds the acceptable int8 reconstruction error norm.
 	// Rows beyond it re-quantize as int16, dividing the error by ~256. For
 	// unit 64-dim vectors the int8 error norm is ≤ maxAbs·√Dim/254 ≤ 0.0315
@@ -298,6 +304,120 @@ func (m *Matrix) EnsureQuantForce() bool {
 	}
 	m.buildQuant()
 	return true
+}
+
+// PatchQuant builds this matrix's quantized tier incrementally from src's
+// tier, for incremental snapshot rebuilds. Rows mapped to a source row
+// (rowMap[r] = src row, or -1 for fresh) keep their integer codes, scale,
+// exact error norm, and cluster assignment verbatim — all four are pure
+// functions of the row data, which is identical by the caller's contract.
+// Fresh rows are quantized from scratch and assigned to the nearest
+// surviving cluster by residual-centroid distance (ties to the lowest
+// index), and that cluster's bound ingredients are widened to stay sound:
+// its projection box is extended to cover the newcomer's anchor
+// projections, and its residual spread grows to max(old spread, distance of
+// the newcomer's residual to the *old* centroid ν). The centroid itself is
+// never moved, so every surviving member's stored distance remains valid;
+// rows that disappeared simply leave the box and spread valid-but-looser.
+// Point-mass flags are re-verified against the float data (markPointMass),
+// so a duplicate cluster that gains a non-identical member is demoted
+// automatically. The patched tier can therefore differ from what a full
+// buildQuant would produce — clusters drift looser over many patches — but
+// every bound stays sound, and the scan rescores candidates with the exact
+// float kernel, so yielded rows and dots are identical either way; only
+// pruning efficiency degrades. Callers that measure high churn should
+// invalidate (buildQuant) instead.
+//
+// Returns (false, nil) without building when src carries no tier, the
+// matrix is empty, or the matrix already has a tier it would overwrite is
+// not possible (an existing tier returns (true, nil) untouched).
+func (m *Matrix) PatchQuant(src *Matrix, rowMap []int32) (bool, error) {
+	if m.qt != nil {
+		return true, nil
+	}
+	if m.rows == 0 || src == nil || src.qt == nil {
+		return false, nil
+	}
+	if len(rowMap) != m.rows {
+		return false, fmt.Errorf("wordvec: quant patch rowMap of %d entries for %d rows", len(rowMap), m.rows)
+	}
+	if m.res == nil {
+		return false, fmt.Errorf("wordvec: quant patch requires a finished sketch")
+	}
+	st := src.qt
+	k := len(st.resSpread)
+	K := len(m.proj) / m.rows
+	t := &quantTier{
+		scales:    make([]float64, m.rows),
+		errs:      make([]float64, m.rows),
+		offs:      make([]uint32, m.rows+1),
+		data:      make([]byte, 0, m.rows*Dim),
+		clusterOf: make([]uint16, m.rows),
+		resCent:   append([]float64(nil), st.resCent...),
+		resSpread: append([]float64(nil), st.resSpread...),
+		boxMin:    append([]float64(nil), st.boxMin...),
+		boxMax:    append([]float64(nil), st.boxMax...),
+	}
+	basis := anchorBasis()
+	var buf8 [Dim]byte
+	var buf16 [2 * Dim]byte
+	var resid Vector
+	for r := 0; r < m.rows; r++ {
+		if sr := int(rowMap[r]); sr >= 0 {
+			if sr >= src.rows {
+				return false, fmt.Errorf("wordvec: quant patch rowMap names src row %d of %d", sr, src.rows)
+			}
+			lo, hi := st.offs[sr], st.offs[sr+1]
+			t.data = append(t.data, st.data[lo:hi]...)
+			t.scales[r], t.errs[r] = st.scales[sr], st.errs[sr]
+			t.clusterOf[r] = st.clusterOf[sr]
+			t.offs[r+1] = uint32(len(t.data))
+			continue
+		}
+		row := m.Row(r)
+		s, e := quantizeRow8(row, buf8[:])
+		if e > quantErrCap {
+			s, e = quantizeRow16(row, buf16[:])
+			t.data = append(t.data, buf16[:]...)
+		} else {
+			t.data = append(t.data, buf8[:]...)
+		}
+		t.scales[r], t.errs[r] = s, e
+		t.offs[r+1] = uint32(len(t.data))
+
+		// Residual c_⊥ = row − Σ_i p_i·u_i from the finished sketch.
+		copy(resid[:], row)
+		pr := m.proj[r*K : (r+1)*K]
+		for bi := range basis {
+			p := pr[bi]
+			for i := 0; i < Dim; i++ {
+				resid[i] -= p * basis[bi][i]
+			}
+		}
+		best, bd := 0, math.MaxFloat64
+		for j := 0; j < k; j++ {
+			if d := sqDist(resid[:], t.resCent[j*Dim:(j+1)*Dim]); d < bd {
+				best, bd = j, d
+			}
+		}
+		t.clusterOf[r] = uint16(best)
+		if d := math.Sqrt(bd); d > t.resSpread[best] {
+			t.resSpread[best] = d
+		}
+		lo, hi := t.boxMin[best*K:(best+1)*K], t.boxMax[best*K:(best+1)*K]
+		for i, p := range pr {
+			if p < lo[i] {
+				lo[i] = p
+			}
+			if p > hi[i] {
+				hi[i] = p
+			}
+		}
+	}
+	m.buildMembers(t)
+	m.markPointMass(t)
+	m.qt = t
+	return true, nil
 }
 
 // QuantHeapBytes reports the heap memory the tier occupies beyond the float
